@@ -1,0 +1,60 @@
+"""Profile the Fig. 8 optimization ladder on one training iteration.
+
+Shows, per optimization level (baseline -> parallel basis -> kernel fusion
+-> force/stress decomposition): iteration wall time, simulated kernel-launch
+count, peak autodiff-tape memory, and the hottest kernels — the measurements
+behind the paper's Fig. 8.
+
+Run:  python examples/profile_optimizations.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data import generate_mptrj, split_dataset
+from repro.model import CHGNetConfig, CHGNetModel, OptLevel
+from repro.runtime import device_profile
+from repro.train import Adam, CompositeLoss
+
+
+def main() -> None:
+    print("Building a batch of 8 structures...")
+    entries = generate_mptrj(n_structures=16, seed=2, max_atoms=10)
+    splits = split_dataset(entries, seed=0, fractions=(0.8, 0.1, 0.1))
+    batch = splits.train.batch(np.arange(min(8, len(splits.train))))
+    print(
+        f"  atoms={batch.num_atoms} bonds={batch.num_edges} angles={batch.num_angles}\n"
+    )
+
+    print(f"{'level':16s} {'time (s)':>9s} {'kernels':>8s} {'tape MiB':>9s}  top kernels")
+    baseline = None
+    for level in OptLevel:
+        model = CHGNetModel(CHGNetConfig(opt_level=level), np.random.default_rng(1))
+        loss_fn = CompositeLoss()
+        optimizer = Adam(model.parameters(), lr=3e-4)
+
+        def step():
+            model.zero_grad()
+            out = model.forward(batch, training=True)
+            loss_fn(out, batch).loss.backward()
+            optimizer.step()
+
+        step()  # warm-up
+        with device_profile() as prof:
+            step()
+        top = ", ".join(f"{k}x{n}" for k, n in prof.kernels.top(3))
+        print(
+            f"{level.name:16s} {prof.wall_time:9.3f} {prof.kernels.count:8d} "
+            f"{prof.memory.peak_mib:9.1f}  {top}"
+        )
+        baseline = baseline or prof
+        del model
+    print(
+        "\n(paper, A100 batch 64: time 1.067->0.190s, kernels 72,659->3,604, "
+        "memory 16.09->4.48 GB)"
+    )
+
+
+if __name__ == "__main__":
+    main()

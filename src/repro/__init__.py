@@ -1,0 +1,18 @@
+"""FastCHGNet reproduction.
+
+A from-scratch Python implementation of the systems described in
+*FastCHGNet: Training One Universal Interatomic Potential to 1.5 Hours with
+32 GPUs* (IPPS 2025): the CHGNet charge-informed GNN interatomic potential,
+FastCHGNet's model innovations (Force/Stress heads, dependency elimination)
+and system optimizations (batched basis computation, kernel fusion,
+redundancy removal, load balancing, LR scaling, prefetch, communication
+overlap), plus every substrate they need — an autodiff engine with double
+backward, a simulated multi-GPU runtime, periodic-crystal structures and
+graphs, a synthetic MPtrj dataset with a DFT oracle, and a molecular-dynamics
+driver.
+
+See ``DESIGN.md`` for the system inventory and ``EXPERIMENTS.md`` for the
+paper-vs-measured record of every table and figure.
+"""
+
+__version__ = "1.0.0"

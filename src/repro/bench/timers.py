@@ -1,0 +1,44 @@
+"""Timing helpers for the benchmark harness."""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass
+class TimingResult:
+    """Repeated-measurement summary."""
+
+    samples: np.ndarray
+
+    @property
+    def mean(self) -> float:
+        return float(np.mean(self.samples))
+
+    @property
+    def median(self) -> float:
+        return float(np.median(self.samples))
+
+    @property
+    def std(self) -> float:
+        return float(np.std(self.samples))
+
+    def __repr__(self) -> str:
+        return f"TimingResult(mean={self.mean:.4f}s, median={self.median:.4f}s, n={len(self.samples)})"
+
+
+def time_callable(fn, repeats: int = 3, warmup: int = 1) -> TimingResult:
+    """Time ``fn()`` with warmups; returns all samples."""
+    if repeats < 1:
+        raise ValueError(f"repeats must be >= 1, got {repeats}")
+    for _ in range(warmup):
+        fn()
+    samples = []
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fn()
+        samples.append(time.perf_counter() - t0)
+    return TimingResult(np.array(samples))

@@ -1,0 +1,190 @@
+"""Command-line interface: ``python -m repro.cli <command>``.
+
+Commands
+--------
+``train``    train a CHGNet/FastCHGNet variant on a synthetic-MPtrj corpus
+``md``       run molecular dynamics on a named Table-II structure
+``profile``  profile one training iteration per optimization level
+``dataset``  generate a corpus and print its statistics
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+
+def _add_train(sub: argparse._SubParsersAction) -> None:
+    p = sub.add_parser("train", help="train a model on synthetic MPtrj")
+    p.add_argument("--variant", choices=("chgnet", "fast", "fast-wo-head"), default="fast")
+    p.add_argument("--structures", type=int, default=80)
+    p.add_argument("--max-atoms", type=int, default=10)
+    p.add_argument("--epochs", type=int, default=5)
+    p.add_argument("--batch-size", type=int, default=8)
+    p.add_argument("--lr", type=float, default=None, help="default: 3e-4 (or Eq. 14 with --scale-lr)")
+    p.add_argument("--scale-lr", action="store_true", help="apply the Eq. 14 scaling rule")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--checkpoint", default="", help="save trained weights to this .npz path")
+
+
+def _add_md(sub: argparse._SubParsersAction) -> None:
+    p = sub.add_parser("md", help="molecular dynamics on a Table II structure")
+    p.add_argument("--structure", choices=("LiMnO2", "LiTiPO5", "Li9Co7O16"), default="LiMnO2")
+    p.add_argument("--steps", type=int, default=5)
+    p.add_argument("--timestep", type=float, default=1.0, help="femtoseconds")
+    p.add_argument("--temperature", type=float, default=300.0, help="kelvin")
+    p.add_argument("--calculator", choices=("oracle", "fast", "chgnet"), default="oracle")
+    p.add_argument("--checkpoint", default="", help="load model weights from this .npz path")
+
+
+def _add_profile(sub: argparse._SubParsersAction) -> None:
+    p = sub.add_parser("profile", help="profile one training iteration per OptLevel")
+    p.add_argument("--batch-size", type=int, default=8)
+    p.add_argument("--structures", type=int, default=16)
+
+
+def _add_dataset(sub: argparse._SubParsersAction) -> None:
+    p = sub.add_parser("dataset", help="generate a corpus and print statistics")
+    p.add_argument("--structures", type=int, default=50)
+    p.add_argument("--max-atoms", type=int, default=24)
+    p.add_argument("--seed", type=int, default=0)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(prog="repro", description=__doc__)
+    sub = parser.add_subparsers(dest="command", required=True)
+    _add_train(sub)
+    _add_md(sub)
+    _add_profile(sub)
+    _add_dataset(sub)
+    return parser
+
+
+def cmd_train(args: argparse.Namespace) -> int:
+    from repro.data import generate_mptrj, split_dataset
+    from repro.model import CHGNet, FastCHGNet
+    from repro.train import TrainConfig, Trainer, evaluate
+
+    entries = generate_mptrj(args.structures, seed=args.seed, max_atoms=args.max_atoms)
+    splits = split_dataset(entries, seed=args.seed)
+    rng = np.random.default_rng(args.seed + 7)
+    if args.variant == "chgnet":
+        model = CHGNet(rng)
+    elif args.variant == "fast-wo-head":
+        model = FastCHGNet(rng, use_heads=False)
+    else:
+        model = FastCHGNet(rng)
+    print(f"{args.variant}: {model.num_parameters():,} parameters")
+    trainer = Trainer(
+        model,
+        splits.train,
+        val_dataset=splits.val,
+        config=TrainConfig(
+            epochs=args.epochs,
+            batch_size=args.batch_size,
+            learning_rate=args.lr,
+            scale_lr=args.scale_lr,
+            seed=args.seed,
+        ),
+    )
+    trainer.train(verbose=True)
+    result, _ = evaluate(model, splits.test)
+    print("| model | E (meV/atom) | F (meV/A) | S | M (m-muB) |")
+    print(result.row(args.variant))
+    if args.checkpoint:
+        model.save(args.checkpoint)
+        print(f"saved {args.checkpoint}")
+    return 0
+
+
+def cmd_md(args: argparse.Namespace) -> int:
+    from repro.md import ModelCalculator, MolecularDynamics, OracleCalculator
+    from repro.model import CHGNet, FastCHGNet
+    from repro.structures import named_structures
+
+    crystal = named_structures()[args.structure]
+    if args.calculator == "oracle":
+        calc = OracleCalculator()
+    else:
+        rng = np.random.default_rng(0)
+        model = FastCHGNet(rng) if args.calculator == "fast" else CHGNet(rng)
+        if args.checkpoint:
+            model.load(args.checkpoint)
+        calc = ModelCalculator(model)
+    md = MolecularDynamics(
+        crystal, calc, timestep_fs=args.timestep, temperature_k=args.temperature, seed=0
+    )
+    result = md.run(args.steps)
+    print(f"{args.structure}: {crystal.num_atoms} atoms, {args.steps} steps")
+    for rec in result.records:
+        print(
+            f"  step {rec.step:3d}  E_pot {rec.potential_energy:10.4f} eV  "
+            f"T {rec.temperature:7.1f} K  {rec.step_seconds * 1e3:7.1f} ms/step"
+        )
+    print(f"mean step time: {result.mean_step_seconds * 1e3:.1f} ms")
+    return 0
+
+
+def cmd_profile(args: argparse.Namespace) -> int:
+    from repro.data import generate_mptrj, split_dataset
+    from repro.model import CHGNetConfig, CHGNetModel, OptLevel
+    from repro.runtime import device_profile
+    from repro.train import Adam, CompositeLoss
+
+    entries = generate_mptrj(args.structures, seed=2, max_atoms=10)
+    splits = split_dataset(entries, seed=0, fractions=(0.8, 0.1, 0.1))
+    batch = splits.train.batch(np.arange(min(args.batch_size, len(splits.train))))
+    print(f"{'level':16s} {'time (s)':>9s} {'kernels':>8s} {'tape MiB':>9s}")
+    for level in OptLevel:
+        model = CHGNetModel(CHGNetConfig(opt_level=level), np.random.default_rng(1))
+        loss_fn = CompositeLoss()
+        optimizer = Adam(model.parameters(), lr=3e-4)
+
+        def step():
+            model.zero_grad()
+            out = model.forward(batch, training=True)
+            loss_fn(out, batch).loss.backward()
+            optimizer.step()
+
+        step()
+        with device_profile() as prof:
+            step()
+        print(
+            f"{level.name:16s} {prof.wall_time:9.3f} {prof.kernels.count:8d} "
+            f"{prof.memory.peak_mib:9.1f}"
+        )
+        del model
+    return 0
+
+
+def cmd_dataset(args: argparse.Namespace) -> int:
+    from repro.data import dataset_statistics, generate_mptrj
+
+    entries = generate_mptrj(args.structures, seed=args.seed, max_atoms=args.max_atoms)
+    stats = dataset_statistics(entries)
+    print(f"{args.structures} structures (max {args.max_atoms} atoms):")
+    for name, arr in stats.items():
+        print(
+            f"  {name:7s} min {arr.min():6d}  median {int(np.median(arr)):6d}  "
+            f"mean {arr.mean():8.1f}  max {arr.max():6d}"
+        )
+    return 0
+
+
+COMMANDS = {
+    "train": cmd_train,
+    "md": cmd_md,
+    "profile": cmd_profile,
+    "dataset": cmd_dataset,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,25 @@
+"""Simulated multi-GPU communication: collectives, ring allreduce, cost model."""
+
+from repro.comm.communicator import SimCommunicator
+from repro.comm.cost_model import (
+    ClusterSpec,
+    OverlapResult,
+    ring_allreduce_time,
+    simulate_overlap,
+)
+from repro.comm.ring import RingTrace, ring_allreduce
+from repro.comm.scaling import ComputeModel, ScalingPoint, model_iteration, weak_efficiency
+
+__all__ = [
+    "SimCommunicator",
+    "ClusterSpec",
+    "OverlapResult",
+    "ring_allreduce_time",
+    "simulate_overlap",
+    "RingTrace",
+    "ring_allreduce",
+    "ComputeModel",
+    "ScalingPoint",
+    "model_iteration",
+    "weak_efficiency",
+]

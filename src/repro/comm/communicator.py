@@ -1,0 +1,72 @@
+"""Simulated multi-GPU communicator.
+
+Collectives over "ranks" living in one process: numerically exact (used by
+the data-parallel trainer for gradient averaging) with algorithmic fidelity
+available through the explicit ring allreduce in :mod:`repro.comm.ring`.
+Timing is modeled separately (:mod:`repro.comm.cost_model`) — the paper's
+scaling numbers come from compute measurements + this model, mirroring how
+the real system's efficiency is compute/communication-ratio bound.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class SimCommunicator:
+    """MPI-like collectives across ``world_size`` simulated ranks.
+
+    All per-rank buffers are passed together (rank-major lists), since the
+    ranks share one process.
+    """
+
+    def __init__(self, world_size: int) -> None:
+        if world_size < 1:
+            raise ValueError(f"world size must be >= 1, got {world_size}")
+        self.world_size = world_size
+
+    def _check(self, per_rank: list) -> None:
+        if len(per_rank) != self.world_size:
+            raise ValueError(
+                f"expected buffers for {self.world_size} ranks, got {len(per_rank)}"
+            )
+
+    def allreduce_sum(self, per_rank: list[np.ndarray]) -> list[np.ndarray]:
+        """Sum one array across ranks; every rank receives the result."""
+        self._check(per_rank)
+        total = np.sum(np.stack(per_rank, axis=0), axis=0)
+        return [total.copy() for _ in range(self.world_size)]
+
+    def allreduce_mean(self, per_rank: list[np.ndarray]) -> list[np.ndarray]:
+        """Average one array across ranks (DDP gradient averaging)."""
+        out = self.allreduce_sum(per_rank)
+        for arr in out:
+            arr /= self.world_size
+        return out
+
+    def allreduce_mean_lists(
+        self, per_rank: list[list[np.ndarray]]
+    ) -> list[list[np.ndarray]]:
+        """Average *lists* of arrays (one list per rank, e.g. all gradients)."""
+        self._check(per_rank)
+        n_buffers = len(per_rank[0])
+        for bufs in per_rank:
+            if len(bufs) != n_buffers:
+                raise ValueError("ranks disagree on number of buffers")
+        out: list[list[np.ndarray]] = [[] for _ in range(self.world_size)]
+        for j in range(n_buffers):
+            reduced = self.allreduce_mean([per_rank[r][j] for r in range(self.world_size)])
+            for r in range(self.world_size):
+                out[r].append(reduced[r])
+        return out
+
+    def broadcast(self, value: np.ndarray, root: int = 0) -> list[np.ndarray]:
+        """Every rank receives a copy of ``value`` from ``root``."""
+        if not 0 <= root < self.world_size:
+            raise ValueError(f"root {root} out of range for world size {self.world_size}")
+        return [np.array(value, copy=True) for _ in range(self.world_size)]
+
+    def gather(self, per_rank: list[np.ndarray], root: int = 0) -> list[np.ndarray]:
+        """Root receives the list of all rank buffers (returned directly)."""
+        self._check(per_rank)
+        return [np.array(b, copy=True) for b in per_rank]

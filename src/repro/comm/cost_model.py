@@ -1,0 +1,91 @@
+"""Alpha-beta communication cost model for the scaling experiments.
+
+The paper's cluster: nodes with 8 A100s (4 used per node in the scaling
+tests), NVLink inside a node, non-blocking fat-tree interconnect between
+nodes.  Ring allreduce time for ``n`` bytes over ``p`` ranks::
+
+    t = 2 (p - 1) * alpha  +  2 (p - 1)/p * n / beta
+
+where ``alpha`` is per-step latency and ``beta`` the bandwidth of the
+*slowest* link on the ring (inter-node once the ring spans nodes).  This is
+the standard LogP-style model; it reproduces the paper's efficiency trend —
+communication overhead grows with rank count while per-rank compute shrinks
+(strong scaling) or stays flat (weak scaling).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class ClusterSpec:
+    """Hardware constants of the simulated cluster (A100-era defaults)."""
+
+    gpus_per_node: int = 4  # the paper uses 4 GPUs per node in scaling runs
+    intra_bw: float = 200e9  # NVLink effective bandwidth, bytes/s
+    inter_bw: float = 20e9  # IB fat-tree effective bandwidth, bytes/s
+    intra_latency: float = 4e-6  # per ring step, seconds
+    inter_latency: float = 1.6e-5
+
+    def ring_link(self, world_size: int) -> tuple[float, float]:
+        """(latency, bandwidth) of the slowest link in a ring of ``world_size``."""
+        if world_size <= self.gpus_per_node:
+            return self.intra_latency, self.intra_bw
+        return self.inter_latency, self.inter_bw
+
+
+def ring_allreduce_time(nbytes: int, world_size: int, spec: ClusterSpec) -> float:
+    """Modeled seconds for one ring allreduce of ``nbytes`` per rank."""
+    if world_size < 1:
+        raise ValueError(f"world size must be >= 1, got {world_size}")
+    if nbytes < 0:
+        raise ValueError(f"nbytes must be non-negative, got {nbytes}")
+    if world_size == 1:
+        return 0.0
+    alpha, beta = spec.ring_link(world_size)
+    p = world_size
+    return 2 * (p - 1) * alpha + 2 * (p - 1) / p * nbytes / beta
+
+
+@dataclass
+class OverlapResult:
+    """Outcome of the bucketed communication-overlap simulation."""
+
+    total_time: float  # backward start -> last allreduce finished
+    exposed_comm: float  # time not hidden behind backward compute
+    comm_time: float  # raw allreduce time of all buckets
+
+
+def simulate_overlap(
+    backward_time: float,
+    grad_bytes: int,
+    world_size: int,
+    spec: ClusterSpec,
+    n_buckets: int = 8,
+) -> OverlapResult:
+    """Event simulation of the paper's "Communication Overlap".
+
+    Gradients become ready bucket by bucket as the backward pass proceeds
+    (uniformly spread); each bucket's allreduce starts when its gradients
+    are ready and the network is free.  ``n_buckets=1`` degenerates to the
+    blocking all-at-the-end allreduce.
+    """
+    if n_buckets < 1:
+        raise ValueError(f"n_buckets must be >= 1, got {n_buckets}")
+    if backward_time < 0:
+        raise ValueError("backward_time must be non-negative")
+    bucket_bytes = grad_bytes / n_buckets
+    bucket_comm = ring_allreduce_time(int(bucket_bytes), world_size, spec)
+    comm_total = bucket_comm * n_buckets
+    network_free = 0.0
+    for i in range(n_buckets):
+        ready = backward_time * (i + 1) / n_buckets
+        start = max(ready, network_free)
+        network_free = start + bucket_comm
+    total = max(network_free, backward_time)
+    return OverlapResult(
+        total_time=total,
+        exposed_comm=total - backward_time,
+        comm_time=comm_total,
+    )

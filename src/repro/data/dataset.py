@@ -1,0 +1,156 @@
+"""Dataset with precomputed graphs, splits, and energy normalization."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.data.mptrj import LabeledStructure
+from repro.graph.batching import Labels, collate
+from repro.graph.crystal_graph import CrystalGraph, build_graph
+from repro.structures.elements import MAX_Z
+
+
+class CompositionNormalizer:
+    """Per-element reference energies fitted by least squares.
+
+    CHGNet training subtracts composition reference energies so the model
+    fits the (much smaller) residual.  Fit on the training split, applied to
+    every split.  Because the shift depends only on composition, MAEs on
+    normalized energies equal MAEs on raw energies for any model trained on
+    the same normalization.
+    """
+
+    def __init__(self) -> None:
+        self.reference = np.zeros(MAX_Z + 1)
+        self.fitted = False
+
+    @staticmethod
+    def _fractions(entries: list[LabeledStructure]) -> np.ndarray:
+        x = np.zeros((len(entries), MAX_Z + 1))
+        for i, entry in enumerate(entries):
+            counts = np.bincount(entry.crystal.species, minlength=MAX_Z + 1)
+            x[i] = counts / entry.crystal.num_atoms
+        return x
+
+    def fit(self, entries: list[LabeledStructure]) -> "CompositionNormalizer":
+        if not entries:
+            raise ValueError("cannot fit normalizer on an empty split")
+        x = self._fractions(entries)
+        y = np.array([e.labels.energy_per_atom for e in entries])
+        self.reference, *_ = np.linalg.lstsq(x, y, rcond=None)
+        self.fitted = True
+        return self
+
+    def shift(self, entry: LabeledStructure) -> float:
+        """Reference energy per atom for one structure's composition."""
+        counts = np.bincount(entry.crystal.species, minlength=MAX_Z + 1)
+        return float(self.reference @ (counts / entry.crystal.num_atoms))
+
+    def transform(self, entries: list[LabeledStructure]) -> list[LabeledStructure]:
+        """Return entries with composition reference subtracted from energies."""
+        if not self.fitted:
+            raise RuntimeError("normalizer must be fitted before transform")
+        out = []
+        for entry in entries:
+            lab = entry.labels
+            out.append(
+                LabeledStructure(
+                    entry.crystal,
+                    Labels(
+                        energy_per_atom=lab.energy_per_atom - self.shift(entry),
+                        forces=lab.forces,
+                        stress=lab.stress,
+                        magmom=lab.magmom,
+                    ),
+                )
+            )
+        return out
+
+
+@dataclass
+class DatasetSplits:
+    """The paper's 0.9 : 0.05 : 0.05 split."""
+
+    train: "StructureDataset"
+    val: "StructureDataset"
+    test: "StructureDataset"
+
+
+class StructureDataset:
+    """Labeled structures with graphs precomputed once (as reference CHGNet does)."""
+
+    def __init__(
+        self,
+        entries: list[LabeledStructure],
+        cutoff_atom: float = 6.0,
+        cutoff_bond: float = 3.0,
+    ) -> None:
+        if not entries:
+            raise ValueError("dataset must contain at least one entry")
+        self.entries = entries
+        self.cutoff_atom = cutoff_atom
+        self.cutoff_bond = cutoff_bond
+        self.graphs: list[CrystalGraph] = [
+            build_graph(e.crystal, cutoff_atom, cutoff_bond) for e in entries
+        ]
+        self.feature_numbers = np.array([g.feature_number for g in self.graphs])
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def labels(self, i: int) -> Labels:
+        return self.entries[i].labels
+
+    def batch(self, indices: list[int] | np.ndarray):
+        """Collate the given entries into a :class:`GraphBatch`."""
+        indices = [int(i) for i in indices]
+        return collate(
+            [self.graphs[i] for i in indices], [self.entries[i].labels for i in indices]
+        )
+
+    def subset(self, indices: np.ndarray) -> "StructureDataset":
+        ds = StructureDataset.__new__(StructureDataset)
+        ds.entries = [self.entries[int(i)] for i in indices]
+        ds.cutoff_atom = self.cutoff_atom
+        ds.cutoff_bond = self.cutoff_bond
+        ds.graphs = [self.graphs[int(i)] for i in indices]
+        ds.feature_numbers = self.feature_numbers[indices]
+        return ds
+
+
+def split_dataset(
+    entries: list[LabeledStructure],
+    seed: int = 0,
+    fractions: tuple[float, float, float] = (0.9, 0.05, 0.05),
+    normalize: bool = True,
+    cutoff_atom: float = 6.0,
+    cutoff_bond: float = 3.0,
+) -> DatasetSplits:
+    """Shuffle, split 0.9/0.05/0.05 and (optionally) normalize energies."""
+    if abs(sum(fractions) - 1.0) > 1e-9:
+        raise ValueError(f"split fractions must sum to 1, got {fractions}")
+    rng = np.random.default_rng(seed)
+    order = rng.permutation(len(entries))
+    n_train = max(1, int(round(fractions[0] * len(entries))))
+    n_val = max(1, int(round(fractions[1] * len(entries))))
+    train_idx = order[:n_train]
+    val_idx = order[n_train : n_train + n_val]
+    test_idx = order[n_train + n_val :]
+    if len(test_idx) == 0:
+        raise ValueError(f"dataset of {len(entries)} too small for split {fractions}")
+
+    train = [entries[i] for i in train_idx]
+    val = [entries[i] for i in val_idx]
+    test = [entries[i] for i in test_idx]
+    if normalize:
+        normalizer = CompositionNormalizer().fit(train)
+        train = normalizer.transform(train)
+        val = normalizer.transform(val)
+        test = normalizer.transform(test)
+    return DatasetSplits(
+        train=StructureDataset(train, cutoff_atom, cutoff_bond),
+        val=StructureDataset(val, cutoff_atom, cutoff_bond),
+        test=StructureDataset(test, cutoff_atom, cutoff_bond),
+    )

@@ -1,0 +1,106 @@
+"""Batch loaders: single-device and sharded (multi-rank), with prefetch.
+
+The prefetching loader implements the paper's "Data Prefetch": a background
+worker collates the next batch while the current one trains, analogous to
+the separate-stream host-to-device copies of the original.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+import numpy as np
+
+from repro.data.dataset import StructureDataset
+from repro.data.samplers import BatchSampler, DefaultSampler
+from repro.graph.batching import GraphBatch
+from repro.runtime.stream import PrefetchQueue
+
+
+class DataLoader:
+    """Single-device loader yielding :class:`GraphBatch` per iteration."""
+
+    def __init__(
+        self,
+        dataset: StructureDataset,
+        batch_size: int,
+        seed: int = 0,
+        shuffle: bool = True,
+        drop_last: bool = True,
+        prefetch: bool = False,
+    ) -> None:
+        if batch_size < 1:
+            raise ValueError(f"batch_size must be >= 1, got {batch_size}")
+        self.dataset = dataset
+        self.batch_size = batch_size
+        self.seed = seed
+        self.shuffle = shuffle
+        self.drop_last = drop_last
+        self.prefetch = prefetch
+        self.epoch = 0
+
+    def __len__(self) -> int:
+        n = len(self.dataset)
+        if self.drop_last:
+            return n // self.batch_size
+        return (n + self.batch_size - 1) // self.batch_size
+
+    def _indices(self) -> np.ndarray:
+        if self.shuffle:
+            rng = np.random.default_rng((self.seed, self.epoch))
+            return rng.permutation(len(self.dataset))
+        return np.arange(len(self.dataset))
+
+    def _batches(self) -> Iterator[GraphBatch]:
+        order = self._indices()
+        for lo in range(0, len(order), self.batch_size):
+            chunk = order[lo : lo + self.batch_size]
+            if self.drop_last and len(chunk) < self.batch_size:
+                return
+            yield self.dataset.batch(chunk)
+
+    def __iter__(self) -> Iterator[GraphBatch]:
+        source = self._batches()
+        if self.prefetch:
+            source = iter(PrefetchQueue(source, depth=1))
+        yield from source
+        self.epoch += 1
+
+
+class ShardedLoader:
+    """Multi-rank loader: one list of per-rank :class:`GraphBatch` per step.
+
+    Drives the simulated data-parallel trainer; the ``sampler`` decides how
+    each global batch is split across ranks (default vs load-balanced).
+    """
+
+    def __init__(
+        self,
+        dataset: StructureDataset,
+        sampler: BatchSampler,
+    ) -> None:
+        self.dataset = dataset
+        self.sampler = sampler
+        self.epoch = 0
+
+    @classmethod
+    def with_default_sampler(
+        cls,
+        dataset: StructureDataset,
+        global_batch_size: int,
+        world_size: int,
+        seed: int = 0,
+    ) -> "ShardedLoader":
+        return cls(
+            dataset,
+            DefaultSampler(dataset.feature_numbers, global_batch_size, world_size, seed),
+        )
+
+    def __iter__(self) -> Iterator[list[GraphBatch]]:
+        for shards in self.sampler.epoch_partitions(self.epoch):
+            yield [self.dataset.batch(s) for s in shards]
+        self.epoch += 1
+
+    def __len__(self) -> int:
+        n = len(self.dataset)
+        return n // self.sampler.global_batch_size

@@ -1,0 +1,129 @@
+"""Batch samplers: default sharding vs the load-balance sampler (Fig. 4).
+
+With large global batches across many GPUs, per-rank workloads diverge
+because structure sizes follow a long-tail distribution (Fig. 5).  The
+paper's sampler sorts the global batch by total feature number
+(atoms + bonds + angles) and lets each rank take the smallest and largest
+remaining samples in turn, cutting the coefficient of variation of per-rank
+work from 0.186 to 0.064 (Fig. 9).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+import numpy as np
+
+
+def coefficient_of_variation(values: np.ndarray) -> float:
+    """std / mean — the paper's load-imbalance criterion."""
+    values = np.asarray(values, dtype=np.float64)
+    m = values.mean()
+    if m == 0:
+        return 0.0
+    return float(values.std() / m)
+
+
+class BatchSampler:
+    """Base sampler: shuffled global batches of indices.
+
+    Subclasses override :meth:`partition` to assign a global batch's samples
+    to ranks.
+    """
+
+    def __init__(
+        self,
+        feature_numbers: np.ndarray,
+        global_batch_size: int,
+        world_size: int = 1,
+        seed: int = 0,
+        drop_last: bool = True,
+    ) -> None:
+        if global_batch_size < world_size:
+            raise ValueError(
+                f"global batch {global_batch_size} smaller than world size {world_size}"
+            )
+        if global_batch_size % world_size != 0:
+            raise ValueError(
+                f"global batch {global_batch_size} not divisible by world size {world_size}"
+            )
+        self.feature_numbers = np.asarray(feature_numbers)
+        self.n = len(self.feature_numbers)
+        self.global_batch_size = global_batch_size
+        self.world_size = world_size
+        self.seed = seed
+        self.drop_last = drop_last
+
+    def global_batches(self, epoch: int = 0) -> Iterator[np.ndarray]:
+        """Yield shuffled index arrays of size ``global_batch_size``."""
+        rng = np.random.default_rng((self.seed, epoch))
+        order = rng.permutation(self.n)
+        for lo in range(0, self.n, self.global_batch_size):
+            chunk = order[lo : lo + self.global_batch_size]
+            if len(chunk) < self.global_batch_size:
+                if self.drop_last:
+                    return
+                if len(chunk) < self.world_size:
+                    return
+                chunk = chunk[: len(chunk) - (len(chunk) % self.world_size)]
+            yield chunk
+
+    def partition(self, batch_indices: np.ndarray) -> list[np.ndarray]:
+        """Assign one global batch's indices to ``world_size`` ranks."""
+        raise NotImplementedError
+
+    def epoch_partitions(self, epoch: int = 0) -> Iterator[list[np.ndarray]]:
+        """Per-iteration rank assignments for a full epoch."""
+        for batch in self.global_batches(epoch):
+            yield self.partition(batch)
+
+    def rank_loads(self, shards: list[np.ndarray]) -> np.ndarray:
+        """Total feature number per rank for one iteration."""
+        return np.array([self.feature_numbers[s].sum() for s in shards], dtype=np.float64)
+
+
+class DefaultSampler(BatchSampler):
+    """Reference sharding: contiguous equal-count slices of the shuffled batch."""
+
+    def partition(self, batch_indices: np.ndarray) -> list[np.ndarray]:
+        return [np.asarray(s) for s in np.array_split(batch_indices, self.world_size)]
+
+
+class LoadBalanceSampler(BatchSampler):
+    """The paper's greedy smallest+largest pairing (Section III-C, Fig. 4).
+
+    Samples are sorted by feature number ascending; ranks take turns
+    claiming the (smallest, largest) pair of the remaining pool until the
+    batch is exhausted.  Every rank receives the same *count* of samples
+    with near-equal total work.
+    """
+
+    def partition(self, batch_indices: np.ndarray) -> list[np.ndarray]:
+        batch_indices = np.asarray(batch_indices)
+        order = np.argsort(self.feature_numbers[batch_indices], kind="stable")
+        sorted_idx = batch_indices[order]
+        shards: list[list[int]] = [[] for _ in range(self.world_size)]
+        lo, hi = 0, len(sorted_idx) - 1
+        rank = 0
+        while lo <= hi:
+            shards[rank].append(int(sorted_idx[lo]))
+            lo += 1
+            if lo <= hi:
+                shards[rank].append(int(sorted_idx[hi]))
+                hi -= 1
+            rank = (rank + 1) % self.world_size
+        return [np.array(s, dtype=np.int64) for s in shards]
+
+
+def imbalance_study(
+    sampler: BatchSampler, epochs: int = 1
+) -> dict[str, np.ndarray]:
+    """Per-iteration rank loads and CoV for a sampler (Fig. 9 data)."""
+    loads = []
+    covs = []
+    for epoch in range(epochs):
+        for shards in sampler.epoch_partitions(epoch):
+            rank_loads = sampler.rank_loads(shards)
+            loads.append(rank_loads)
+            covs.append(coefficient_of_variation(rank_loads))
+    return {"loads": np.array(loads), "cov": np.array(covs)}

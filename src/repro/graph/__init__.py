@@ -1,0 +1,6 @@
+"""Molecular graph extraction and batching (atom graph G_a, bond graph G_b)."""
+
+from repro.graph.batching import GraphBatch, Labels, collate
+from repro.graph.crystal_graph import CrystalGraph, build_graph
+
+__all__ = ["GraphBatch", "Labels", "collate", "CrystalGraph", "build_graph"]

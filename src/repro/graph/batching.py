@@ -1,0 +1,162 @@
+"""Batching of crystal graphs: concatenation with index offsets.
+
+A :class:`GraphBatch` holds the concatenated atoms/edges/angles of many
+samples plus per-sample offset tables — everything both basis algorithms
+need: Algorithm 1 slices per-sample ranges and processes them serially,
+Algorithm 2 consumes the concatenated arrays in one pass.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.graph.crystal_graph import CrystalGraph
+
+
+@dataclass
+class Labels:
+    """Per-structure training targets (the four CHGNet properties)."""
+
+    energy_per_atom: float
+    forces: np.ndarray  # (n_atoms, 3)
+    stress: np.ndarray  # (3, 3)
+    magmom: np.ndarray  # (n_atoms,)
+
+    def validate(self, n_atoms: int) -> None:
+        if self.forces.shape != (n_atoms, 3):
+            raise ValueError(f"forces shape {self.forces.shape} != ({n_atoms}, 3)")
+        if self.stress.shape != (3, 3):
+            raise ValueError(f"stress shape {self.stress.shape} != (3, 3)")
+        if self.magmom.shape != (n_atoms,):
+            raise ValueError(f"magmom shape {self.magmom.shape} != ({n_atoms},)")
+
+
+@dataclass
+class GraphBatch:
+    """Concatenated graphs of ``num_structs`` samples.
+
+    Atom/edge/angle index arrays are globalized (offsets applied); the
+    ``*_offsets`` tables allow recovering per-sample slices (Algorithm 1 and
+    per-sample energy/stress reduction).
+    """
+
+    num_structs: int
+    # atoms
+    species: np.ndarray  # (n,) int64
+    frac: np.ndarray  # (n, 3)
+    atom_sample: np.ndarray  # (n,) int64
+    lattices: np.ndarray  # (s, 3, 3)
+    # atom graph
+    edge_src: np.ndarray  # (nb,) global atom indices
+    edge_dst: np.ndarray
+    edge_image: np.ndarray  # (nb, 3)
+    edge_sample: np.ndarray  # (nb,)
+    # bond graph
+    short_idx: np.ndarray  # (ns,) global edge positions
+    angle_e1: np.ndarray  # (na,) into short-edge array (global)
+    angle_e2: np.ndarray
+    angle_center: np.ndarray  # (na,) global atom indices
+    angle_sample: np.ndarray  # (na,)
+    # offsets (s+1,)
+    atom_offsets: np.ndarray
+    edge_offsets: np.ndarray
+    short_offsets: np.ndarray
+    angle_offsets: np.ndarray
+    # labels (None for pure-inference batches)
+    energy_per_atom: np.ndarray | None = None  # (s,)
+    forces: np.ndarray | None = None  # (n, 3)
+    stress: np.ndarray | None = None  # (s, 3, 3)
+    magmom: np.ndarray | None = None  # (n,)
+
+    @property
+    def num_atoms(self) -> int:
+        return int(self.species.shape[0])
+
+    @property
+    def num_edges(self) -> int:
+        return int(self.edge_src.shape[0])
+
+    @property
+    def num_short_edges(self) -> int:
+        return int(self.short_idx.shape[0])
+
+    @property
+    def num_angles(self) -> int:
+        return int(self.angle_e1.shape[0])
+
+    @property
+    def feature_number(self) -> int:
+        """Total workload proxy: atoms + bonds + angles (Fig. 9 y-axis)."""
+        return self.num_atoms + self.num_edges + self.num_angles
+
+    @property
+    def atoms_per_sample(self) -> np.ndarray:
+        return np.diff(self.atom_offsets)
+
+
+def collate(graphs: list[CrystalGraph], labels: list[Labels] | None = None) -> GraphBatch:
+    """Concatenate graphs (and labels) into one batch."""
+    if not graphs:
+        raise ValueError("cannot collate an empty list of graphs")
+    if labels is not None and len(labels) != len(graphs):
+        raise ValueError(f"{len(labels)} labels for {len(graphs)} graphs")
+
+    s = len(graphs)
+    n_atoms = np.array([g.num_atoms for g in graphs])
+    n_edges = np.array([g.num_edges for g in graphs])
+    n_short = np.array([g.num_short_edges for g in graphs])
+    n_angles = np.array([g.num_angles for g in graphs])
+
+    atom_off = np.concatenate([[0], np.cumsum(n_atoms)])
+    edge_off = np.concatenate([[0], np.cumsum(n_edges)])
+    short_off = np.concatenate([[0], np.cumsum(n_short)])
+    angle_off = np.concatenate([[0], np.cumsum(n_angles)])
+
+    species = np.concatenate([g.crystal.species for g in graphs])
+    frac = np.concatenate([g.crystal.frac_coords for g in graphs])
+    atom_sample = np.repeat(np.arange(s), n_atoms)
+    lattices = np.stack([g.crystal.lattice.matrix for g in graphs])
+
+    edge_src = np.concatenate([g.edge_src + atom_off[i] for i, g in enumerate(graphs)])
+    edge_dst = np.concatenate([g.edge_dst + atom_off[i] for i, g in enumerate(graphs)])
+    edge_image = np.concatenate([g.edge_image for g in graphs])
+    edge_sample = np.repeat(np.arange(s), n_edges)
+
+    short_idx = np.concatenate([g.short_idx + edge_off[i] for i, g in enumerate(graphs)])
+    angle_e1 = np.concatenate([g.angle_e1 + short_off[i] for i, g in enumerate(graphs)])
+    angle_e2 = np.concatenate([g.angle_e2 + short_off[i] for i, g in enumerate(graphs)])
+    angle_center = np.concatenate(
+        [g.angle_center + atom_off[i] for i, g in enumerate(graphs)]
+    )
+    angle_sample = np.repeat(np.arange(s), n_angles)
+
+    batch = GraphBatch(
+        num_structs=s,
+        species=species.astype(np.int64),
+        frac=frac,
+        atom_sample=atom_sample.astype(np.int64),
+        lattices=lattices,
+        edge_src=edge_src.astype(np.int64),
+        edge_dst=edge_dst.astype(np.int64),
+        edge_image=edge_image.astype(np.int64),
+        edge_sample=edge_sample.astype(np.int64),
+        short_idx=short_idx.astype(np.int64),
+        angle_e1=angle_e1.astype(np.int64),
+        angle_e2=angle_e2.astype(np.int64),
+        angle_center=angle_center.astype(np.int64),
+        angle_sample=angle_sample.astype(np.int64),
+        atom_offsets=atom_off.astype(np.int64),
+        edge_offsets=edge_off.astype(np.int64),
+        short_offsets=short_off.astype(np.int64),
+        angle_offsets=angle_off.astype(np.int64),
+    )
+    if labels is not None:
+        for g, lab in zip(graphs, labels):
+            lab.validate(g.num_atoms)
+        batch.energy_per_atom = np.array([lab.energy_per_atom for lab in labels])
+        batch.forces = np.concatenate([lab.forces for lab in labels])
+        batch.stress = np.stack([lab.stress for lab in labels])
+        batch.magmom = np.concatenate([lab.magmom for lab in labels])
+    return batch

@@ -1,0 +1,30 @@
+"""Molecular dynamics: calculators, velocity-Verlet integrator, MD driver."""
+
+from repro.md.calculator import CalcResult, Calculator, ModelCalculator, OracleCalculator
+from repro.md.dynamics import MDRecord, MDResult, MolecularDynamics
+from repro.md.integrator import (
+    ACCEL_CONV,
+    KB_EV,
+    VelocityVerlet,
+    VerletState,
+    instantaneous_temperature,
+    kinetic_energy,
+    maxwell_boltzmann_velocities,
+)
+
+__all__ = [
+    "CalcResult",
+    "Calculator",
+    "ModelCalculator",
+    "OracleCalculator",
+    "MDRecord",
+    "MDResult",
+    "MolecularDynamics",
+    "ACCEL_CONV",
+    "KB_EV",
+    "VelocityVerlet",
+    "VerletState",
+    "instantaneous_temperature",
+    "kinetic_energy",
+    "maxwell_boltzmann_velocities",
+]

@@ -1,0 +1,83 @@
+"""Velocity-Verlet integration with Maxwell-Boltzmann initialization.
+
+Units follow the ASE convention: lengths in angstrom, energies in eV,
+masses in amu, time in femtoseconds.  The conversion constant turns
+eV/(A*amu) accelerations into A/fs^2.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.structures.crystal import Crystal
+from repro.structures.elements import ATOMIC_MASS
+
+# 1 eV/(A*amu) = 0.00964853 A/fs^2 ; k_B = 8.617333e-5 eV/K
+ACCEL_CONV = 0.009648533
+KB_EV = 8.617333262e-5
+
+
+def maxwell_boltzmann_velocities(
+    crystal: Crystal, temperature_k: float, rng: np.random.Generator
+) -> np.ndarray:
+    """Initial velocities (A/fs) at ``temperature_k``, COM motion removed."""
+    if temperature_k < 0:
+        raise ValueError(f"temperature must be non-negative, got {temperature_k}")
+    masses = ATOMIC_MASS[crystal.species]  # (n,)
+    # sigma_v = sqrt(kB T / m) in A/fs after unit conversion
+    sigma = np.sqrt(KB_EV * temperature_k / masses * ACCEL_CONV)
+    v = rng.normal(size=(crystal.num_atoms, 3)) * sigma[:, None]
+    # remove center-of-mass drift
+    p = (masses[:, None] * v).sum(axis=0)
+    v -= p / masses.sum()
+    return v
+
+
+def kinetic_energy(crystal: Crystal, velocities: np.ndarray) -> float:
+    """Kinetic energy in eV."""
+    masses = ATOMIC_MASS[crystal.species]
+    return float(0.5 * np.sum(masses[:, None] * velocities**2) / ACCEL_CONV)
+
+
+def instantaneous_temperature(crystal: Crystal, velocities: np.ndarray) -> float:
+    """Kinetic temperature in kelvin (3N degrees of freedom)."""
+    dof = 3 * crystal.num_atoms
+    return 2.0 * kinetic_energy(crystal, velocities) / (dof * KB_EV)
+
+
+@dataclass
+class VerletState:
+    """Positions (via crystal), velocities and forces between steps."""
+
+    crystal: Crystal
+    velocities: np.ndarray  # (n, 3) A/fs
+    forces: np.ndarray  # (n, 3) eV/A
+
+
+class VelocityVerlet:
+    """The standard two-half-kick integrator."""
+
+    def __init__(self, timestep_fs: float) -> None:
+        if timestep_fs <= 0:
+            raise ValueError(f"timestep must be positive, got {timestep_fs}")
+        self.dt = timestep_fs
+
+    def step(self, state: VerletState, calculator) -> VerletState:
+        """Advance one MD step; returns the new state."""
+        crystal = state.crystal
+        masses = ATOMIC_MASS[crystal.species][:, None]
+        accel = state.forces / masses * ACCEL_CONV
+        v_half = state.velocities + 0.5 * self.dt * accel
+        new_cart = crystal.cart_coords + self.dt * v_half
+        new_crystal = Crystal(
+            crystal.lattice,
+            crystal.species,
+            crystal.lattice.cart_to_frac(new_cart),
+            name=crystal.name,
+        )
+        result = calculator.calculate(new_crystal)
+        accel_new = result.forces / masses * ACCEL_CONV
+        v_new = v_half + 0.5 * self.dt * accel_new
+        return VerletState(crystal=new_crystal, velocities=v_new, forces=result.forces)

@@ -1,0 +1,35 @@
+"""CHGNet / FastCHGNet models and their components."""
+
+from repro.model.basis import FourierExpansion, RadialBessel, envelope_reference, make_bases
+from repro.model.blocks import AngleUpdate, AtomConv, BondConv, InteractionBlock
+from repro.model.chgnet import CHGNet, CHGNetModel, FastCHGNet, ModelOutput
+from repro.model.config import CHGNetConfig, OptLevel
+from repro.model.geometry import Geometry, compute_geometry
+from repro.model.heads import EnergyHead, ForceHead, MagmomHead, StressHead
+from repro.model.layers import GatedMLP, packed_gated_forward, packed_linear_forward
+
+__all__ = [
+    "FourierExpansion",
+    "RadialBessel",
+    "envelope_reference",
+    "make_bases",
+    "AngleUpdate",
+    "AtomConv",
+    "BondConv",
+    "InteractionBlock",
+    "CHGNet",
+    "CHGNetModel",
+    "FastCHGNet",
+    "ModelOutput",
+    "CHGNetConfig",
+    "OptLevel",
+    "Geometry",
+    "compute_geometry",
+    "EnergyHead",
+    "ForceHead",
+    "MagmomHead",
+    "StressHead",
+    "GatedMLP",
+    "packed_gated_forward",
+    "packed_linear_forward",
+]

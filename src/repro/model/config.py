@@ -1,0 +1,82 @@
+"""Model configuration and the Fig. 8 optimization ladder."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import IntEnum
+
+from repro.structures.elements import MAX_Z
+
+
+class OptLevel(IntEnum):
+    """Cumulative optimization levels of the paper's Fig. 8 ablation.
+
+    Each level includes everything below it:
+
+    * ``BASELINE`` — reference CHGNet: serial per-sample basis computation
+      (Algorithm 1), unfused GatedMLP/LayerNorm compositions, naive
+      polynomial envelope (Eq. 12), forces and stress from energy
+      derivatives (double backward during training).
+    * ``PARALLEL_BASIS`` — Algorithm 2: batched basis computation with
+      concatenated coordinates and a block-diagonal neighbor-image matrix.
+    * ``FUSED`` — kernel fusion + redundancy bypass: packed GEMMs (weight
+      concatenation), shared/batched LayerNorm and sigmoid, fused sRBF and
+      Fourier kernels, factored envelope (Eq. 13), and interaction-block
+      dependency elimination (Eq. 11) enabling Bond/Angle GatedMLP packing.
+    * ``DECOMPOSE_FS`` — Force/Stress readout heads replace the derivative
+      computation entirely (no second-order pass, no derivative graph).
+    """
+
+    BASELINE = 0
+    PARALLEL_BASIS = 1
+    FUSED = 2
+    DECOMPOSE_FS = 3
+
+
+@dataclass(frozen=True)
+class CHGNetConfig:
+    """Hyperparameters of CHGNet/FastCHGNet (paper Section IV defaults)."""
+
+    atom_fea_dim: int = 64
+    bond_fea_dim: int = 64
+    angle_fea_dim: int = 64
+    num_radial: int = 31  # "radial and angular basis number is set to 31"
+    angular_order: int = 15  # 2*15 + 1 = 31 Fourier features
+    cutoff_atom: float = 6.0
+    cutoff_bond: float = 3.0
+    envelope_p: float = 8.0  # smoothing coefficient p
+    hidden_dim: int = 64
+    num_elements: int = MAX_Z + 1  # embedding rows indexed directly by Z
+    opt_level: OptLevel = OptLevel.DECOMPOSE_FS
+
+    # ------------------------------------------------------- derived switches
+    @property
+    def batched_basis(self) -> bool:
+        """Algorithm 2 instead of Algorithm 1."""
+        return self.opt_level >= OptLevel.PARALLEL_BASIS
+
+    @property
+    def fused(self) -> bool:
+        """Kernel fusion + redundancy bypass + GEMM packing."""
+        return self.opt_level >= OptLevel.FUSED
+
+    @property
+    def dependency_elimination(self) -> bool:
+        """Eq. 11: Bond Conv and Angle Update read stale (t-level) features."""
+        return self.opt_level >= OptLevel.FUSED
+
+    @property
+    def use_heads(self) -> bool:
+        """Force/Stress readout heads instead of energy derivatives."""
+        return self.opt_level >= OptLevel.DECOMPOSE_FS
+
+    @property
+    def num_angular(self) -> int:
+        """Number of Fourier features (2*order + 1)."""
+        return 2 * self.angular_order + 1
+
+    def with_level(self, level: OptLevel) -> "CHGNetConfig":
+        """Copy of this config at a different optimization level."""
+        from dataclasses import replace
+
+        return replace(self, opt_level=level)

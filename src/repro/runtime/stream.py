@@ -1,0 +1,108 @@
+"""Simulated copy streams and prefetch queues.
+
+The paper's "Data Prefetch" optimization overlaps host-to-device copies of
+the next mini-batch with compute on the current one by using a separate CUDA
+stream.  The NumPy analogue is a background worker thread that prepares (and
+"copies") the next batch while the main thread trains; :class:`PrefetchQueue`
+implements the double-buffering, :class:`CopyStream` the asynchronous-copy
+abstraction with explicit synchronization points.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+from typing import Any, Callable, Iterable, Iterator
+
+_SENTINEL = object()
+
+
+class CopyStream:
+    """A background stream executing copy jobs asynchronously.
+
+    Jobs are arbitrary callables; :meth:`synchronize` blocks until every job
+    submitted so far has completed — the analogue of
+    ``torch.cuda.Stream.synchronize()``.
+    """
+
+    def __init__(self) -> None:
+        self._queue: "queue.Queue[Any]" = queue.Queue()
+        self._error: BaseException | None = None
+        self._worker = threading.Thread(target=self._run, daemon=True)
+        self._worker.start()
+
+    def _run(self) -> None:
+        while True:
+            job = self._queue.get()
+            if job is _SENTINEL:
+                self._queue.task_done()
+                return
+            try:
+                job()
+            except BaseException as exc:  # surfaced on synchronize()
+                self._error = exc
+            finally:
+                self._queue.task_done()
+
+    def submit(self, job: Callable[[], Any]) -> None:
+        """Enqueue a copy job for asynchronous execution."""
+        if self._error is not None:
+            raise RuntimeError("copy stream failed") from self._error
+        self._queue.put(job)
+
+    def synchronize(self) -> None:
+        """Block until all submitted jobs have finished."""
+        self._queue.join()
+        if self._error is not None:
+            err, self._error = self._error, None
+            raise RuntimeError("copy stream failed") from err
+
+    def close(self) -> None:
+        """Stop the worker thread (idempotent)."""
+        if self._worker.is_alive():
+            self._queue.put(_SENTINEL)
+            self._worker.join(timeout=10)
+
+
+class PrefetchQueue:
+    """Double-buffered iterator: produces item ``i+1`` while ``i`` is consumed.
+
+    Wraps any iterable whose items are expensive to build (graph batching,
+    basis precomputation).  ``depth`` controls how many batches may be in
+    flight; the paper's prefetch is ``depth=1`` double buffering.
+
+    Example
+    -------
+    >>> for batch in PrefetchQueue(loader, depth=1):
+    ...     trainer.train_step(batch)
+    """
+
+    def __init__(self, source: Iterable[Any], depth: int = 1) -> None:
+        if depth < 1:
+            raise ValueError(f"prefetch depth must be >= 1, got {depth}")
+        self._source = source
+        self._depth = depth
+
+    def __iter__(self) -> Iterator[Any]:
+        q: "queue.Queue[Any]" = queue.Queue(maxsize=self._depth)
+        error: list[BaseException] = []
+
+        def produce() -> None:
+            try:
+                for item in self._source:
+                    q.put(item)
+            except BaseException as exc:
+                error.append(exc)
+            finally:
+                q.put(_SENTINEL)
+
+        worker = threading.Thread(target=produce, daemon=True)
+        worker.start()
+        while True:
+            item = q.get()
+            if item is _SENTINEL:
+                break
+            yield item
+        worker.join(timeout=10)
+        if error:
+            raise RuntimeError("prefetch worker failed") from error[0]

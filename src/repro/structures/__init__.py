@@ -1,0 +1,59 @@
+"""Periodic-crystal substrate: elements, lattices, structures, neighbor lists."""
+
+from repro.structures.crystal import Crystal
+from repro.structures.elements import (
+    ATOMIC_MASS,
+    COVALENT_RADIUS,
+    ELECTRONEGATIVITY,
+    MAGNETIC_TENDENCY,
+    MPTRJ_ELEMENTS,
+    Element,
+    element,
+    symbols,
+)
+from repro.structures.lattice import Lattice
+from repro.structures.neighbors import NeighborList, neighbor_list, neighbor_list_bruteforce
+from repro.structures.prototypes import (
+    PROTOTYPE_BUILDERS,
+    bcc,
+    cscl,
+    fcc,
+    fluorite,
+    layered_limo2,
+    named_structures,
+    packed_grid,
+    perovskite,
+    rocksalt,
+    suggest_bond_length,
+    wurtzite,
+    zincblende,
+)
+
+__all__ = [
+    "Crystal",
+    "ATOMIC_MASS",
+    "COVALENT_RADIUS",
+    "ELECTRONEGATIVITY",
+    "MAGNETIC_TENDENCY",
+    "MPTRJ_ELEMENTS",
+    "Element",
+    "element",
+    "symbols",
+    "Lattice",
+    "NeighborList",
+    "neighbor_list",
+    "neighbor_list_bruteforce",
+    "PROTOTYPE_BUILDERS",
+    "bcc",
+    "cscl",
+    "fcc",
+    "fluorite",
+    "layered_limo2",
+    "named_structures",
+    "packed_grid",
+    "perovskite",
+    "rocksalt",
+    "suggest_bond_length",
+    "wurtzite",
+    "zincblende",
+]

@@ -1,0 +1,172 @@
+"""Periodic-table data for the 89 elements covered by MPtrj.
+
+Values (covalent radius, Pauling electronegativity, atomic mass) are
+approximate literature numbers; they parameterize the synthetic dataset
+generator and the DFT-oracle potential, where only realistic *relative*
+trends matter (radius sets bond lengths, electronegativity sets bond
+strengths, d-electron count sets magnetic tendency).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+# Z: (symbol, mass, covalent_radius_A, electronegativity, magnetic_tendency)
+# magnetic_tendency ~ typical local moment scale (mu_B) for the oracle.
+_TABLE: dict[int, tuple[str, float, float, float, float]] = {
+    1: ("H", 1.008, 0.31, 2.20, 0.0),
+    2: ("He", 4.003, 0.28, 0.00, 0.0),
+    3: ("Li", 6.941, 1.28, 0.98, 0.0),
+    4: ("Be", 9.012, 0.96, 1.57, 0.0),
+    5: ("B", 10.811, 0.84, 2.04, 0.0),
+    6: ("C", 12.011, 0.76, 2.55, 0.0),
+    7: ("N", 14.007, 0.71, 3.04, 0.0),
+    8: ("O", 15.999, 0.66, 3.44, 0.1),
+    9: ("F", 18.998, 0.57, 3.98, 0.0),
+    10: ("Ne", 20.180, 0.58, 0.00, 0.0),
+    11: ("Na", 22.990, 1.66, 0.93, 0.0),
+    12: ("Mg", 24.305, 1.41, 1.31, 0.0),
+    13: ("Al", 26.982, 1.21, 1.61, 0.0),
+    14: ("Si", 28.086, 1.11, 1.90, 0.0),
+    15: ("P", 30.974, 1.07, 2.19, 0.0),
+    16: ("S", 32.065, 1.05, 2.58, 0.0),
+    17: ("Cl", 35.453, 1.02, 3.16, 0.0),
+    18: ("Ar", 39.948, 1.06, 0.00, 0.0),
+    19: ("K", 39.098, 2.03, 0.82, 0.0),
+    20: ("Ca", 40.078, 1.76, 1.00, 0.0),
+    21: ("Sc", 44.956, 1.70, 1.36, 0.3),
+    22: ("Ti", 47.867, 1.60, 1.54, 0.6),
+    23: ("V", 50.942, 1.53, 1.63, 1.2),
+    24: ("Cr", 51.996, 1.39, 1.66, 2.5),
+    25: ("Mn", 54.938, 1.39, 1.55, 3.8),
+    26: ("Fe", 55.845, 1.32, 1.83, 3.2),
+    27: ("Co", 58.933, 1.26, 1.88, 2.2),
+    28: ("Ni", 58.693, 1.24, 1.91, 1.1),
+    29: ("Cu", 63.546, 1.32, 1.90, 0.3),
+    30: ("Zn", 65.380, 1.22, 1.65, 0.0),
+    31: ("Ga", 69.723, 1.22, 1.81, 0.0),
+    32: ("Ge", 72.640, 1.20, 2.01, 0.0),
+    33: ("As", 74.922, 1.19, 2.18, 0.0),
+    34: ("Se", 78.960, 1.20, 2.55, 0.0),
+    35: ("Br", 79.904, 1.20, 2.96, 0.0),
+    36: ("Kr", 83.798, 1.16, 3.00, 0.0),
+    37: ("Rb", 85.468, 2.20, 0.82, 0.0),
+    38: ("Sr", 87.620, 1.95, 0.95, 0.0),
+    39: ("Y", 88.906, 1.90, 1.22, 0.2),
+    40: ("Zr", 91.224, 1.75, 1.33, 0.4),
+    41: ("Nb", 92.906, 1.64, 1.60, 0.6),
+    42: ("Mo", 95.960, 1.54, 2.16, 0.8),
+    43: ("Tc", 98.000, 1.47, 1.90, 0.6),
+    44: ("Ru", 101.070, 1.46, 2.20, 0.8),
+    45: ("Rh", 102.906, 1.42, 2.28, 0.4),
+    46: ("Pd", 106.420, 1.39, 2.20, 0.2),
+    47: ("Ag", 107.868, 1.45, 1.93, 0.0),
+    48: ("Cd", 112.411, 1.44, 1.69, 0.0),
+    49: ("In", 114.818, 1.42, 1.78, 0.0),
+    50: ("Sn", 118.710, 1.39, 1.96, 0.0),
+    51: ("Sb", 121.760, 1.39, 2.05, 0.0),
+    52: ("Te", 127.600, 1.38, 2.10, 0.0),
+    53: ("I", 126.904, 1.39, 2.66, 0.0),
+    54: ("Xe", 131.293, 1.40, 2.60, 0.0),
+    55: ("Cs", 132.905, 2.44, 0.79, 0.0),
+    56: ("Ba", 137.327, 2.15, 0.89, 0.0),
+    57: ("La", 138.905, 2.07, 1.10, 0.3),
+    58: ("Ce", 140.116, 2.04, 1.12, 0.8),
+    59: ("Pr", 140.908, 2.03, 1.13, 1.5),
+    60: ("Nd", 144.242, 2.01, 1.14, 2.0),
+    61: ("Pm", 145.000, 1.99, 1.13, 2.2),
+    62: ("Sm", 150.360, 1.98, 1.17, 1.5),
+    63: ("Eu", 151.964, 1.98, 1.20, 6.5),
+    64: ("Gd", 157.250, 1.96, 1.20, 7.0),
+    65: ("Tb", 158.925, 1.94, 1.22, 5.5),
+    66: ("Dy", 162.500, 1.92, 1.22, 5.0),
+    67: ("Ho", 164.930, 1.92, 1.23, 4.5),
+    68: ("Er", 167.259, 1.89, 1.24, 3.5),
+    69: ("Tm", 168.934, 1.90, 1.25, 2.5),
+    70: ("Yb", 173.054, 1.87, 1.10, 0.5),
+    71: ("Lu", 174.967, 1.87, 1.27, 0.1),
+    72: ("Hf", 178.490, 1.75, 1.30, 0.3),
+    73: ("Ta", 180.948, 1.70, 1.50, 0.4),
+    74: ("W", 183.840, 1.62, 2.36, 0.5),
+    75: ("Re", 186.207, 1.51, 1.90, 0.5),
+    76: ("Os", 190.230, 1.44, 2.20, 0.4),
+    77: ("Ir", 192.217, 1.41, 2.20, 0.3),
+    78: ("Pt", 195.084, 1.36, 2.28, 0.2),
+    79: ("Au", 196.967, 1.36, 2.54, 0.0),
+    80: ("Hg", 200.590, 1.32, 2.00, 0.0),
+    81: ("Tl", 204.383, 1.45, 1.62, 0.0),
+    82: ("Pb", 207.200, 1.46, 2.33, 0.0),
+    83: ("Bi", 208.980, 1.48, 2.02, 0.0),
+    84: ("Po", 209.000, 1.40, 2.00, 0.0),
+    85: ("At", 210.000, 1.50, 2.20, 0.0),
+    86: ("Rn", 222.000, 1.50, 2.20, 0.0),
+    87: ("Fr", 223.000, 2.60, 0.70, 0.0),
+    88: ("Ra", 226.000, 2.21, 0.90, 0.0),
+    89: ("Ac", 227.000, 2.15, 1.10, 0.3),
+    90: ("Th", 232.038, 2.06, 1.30, 0.5),
+    91: ("Pa", 231.036, 2.00, 1.50, 1.0),
+    92: ("U", 238.029, 1.96, 1.38, 1.5),
+    93: ("Np", 237.000, 1.90, 1.36, 2.0),
+    94: ("Pu", 244.000, 1.87, 1.28, 2.5),
+}
+
+MAX_Z = max(_TABLE)
+NUM_ELEMENTS = len(_TABLE)
+
+
+@dataclass(frozen=True)
+class Element:
+    """Static per-element data used across the package."""
+
+    z: int
+    symbol: str
+    mass: float
+    covalent_radius: float
+    electronegativity: float
+    magnetic_tendency: float
+
+
+_ELEMENTS: dict[int, Element] = {
+    z: Element(z, *row) for z, row in _TABLE.items()
+}
+_BY_SYMBOL: dict[str, Element] = {e.symbol: e for e in _ELEMENTS.values()}
+
+
+def element(z_or_symbol: int | str) -> Element:
+    """Look up an element by atomic number or symbol."""
+    if isinstance(z_or_symbol, str):
+        try:
+            return _BY_SYMBOL[z_or_symbol]
+        except KeyError:
+            raise KeyError(f"unknown element symbol {z_or_symbol!r}") from None
+    try:
+        return _ELEMENTS[int(z_or_symbol)]
+    except KeyError:
+        raise KeyError(f"unknown atomic number {z_or_symbol}") from None
+
+
+def symbols(zs) -> list[str]:
+    """Symbols for an iterable of atomic numbers."""
+    return [element(int(z)).symbol for z in zs]
+
+
+# Dense property arrays indexed by Z (index 0 unused) for vectorized access.
+COVALENT_RADIUS = np.zeros(MAX_Z + 1)
+ELECTRONEGATIVITY = np.zeros(MAX_Z + 1)
+ATOMIC_MASS = np.zeros(MAX_Z + 1)
+MAGNETIC_TENDENCY = np.zeros(MAX_Z + 1)
+for _z, _e in _ELEMENTS.items():
+    COVALENT_RADIUS[_z] = _e.covalent_radius
+    ELECTRONEGATIVITY[_z] = _e.electronegativity
+    ATOMIC_MASS[_z] = _e.mass
+    MAGNETIC_TENDENCY[_z] = _e.magnetic_tendency
+
+# The 89 elements present in MPtrj: H-Pu excluding noble gases and a few
+# others; for the synthetic dataset we simply use all tabulated elements
+# except the noble gases (He, Ne, Ar, Kr, Xe, Rn) which form no compounds.
+NOBLE_GASES = (2, 10, 18, 36, 54, 86)
+MPTRJ_ELEMENTS: tuple[int, ...] = tuple(
+    z for z in sorted(_ELEMENTS) if z not in NOBLE_GASES
+)

@@ -1,0 +1,226 @@
+"""Prototype crystal builders.
+
+The synthetic MPtrj generator draws from these families; `named_structures`
+builds the three systems of the paper's Table II (LiMnO2, LiTiPO5,
+Li9Co7O16) with exactly matching atom counts.  Geometries are idealized —
+lattice constants are set from covalent radii so that interatomic distances
+(hence bond/angle counts under the 6 A / 3 A cutoffs) are realistic.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.structures.crystal import Crystal
+from repro.structures.elements import COVALENT_RADIUS, element
+from repro.structures.lattice import Lattice
+
+
+def suggest_bond_length(z1: int, z2: int, scale: float = 1.05) -> float:
+    """Heuristic nearest-neighbor distance: scaled sum of covalent radii."""
+    return scale * float(COVALENT_RADIUS[z1] + COVALENT_RADIUS[z2])
+
+
+def cscl(a_z: int, b_z: int) -> Crystal:
+    """CsCl-type: 2 atoms, B at the body center."""
+    d = suggest_bond_length(a_z, b_z)
+    a = 2.0 * d / np.sqrt(3.0)
+    return Crystal(
+        Lattice.cubic(a),
+        np.array([a_z, b_z]),
+        np.array([[0.0, 0.0, 0.0], [0.5, 0.5, 0.5]]),
+        name=f"cscl-{element(a_z).symbol}{element(b_z).symbol}",
+    )
+
+
+def rocksalt(a_z: int, b_z: int) -> Crystal:
+    """NaCl-type conventional cell: 8 atoms (4 cations fcc + 4 anions)."""
+    d = suggest_bond_length(a_z, b_z)
+    a = 2.0 * d
+    cations = np.array([[0, 0, 0], [0.5, 0.5, 0], [0.5, 0, 0.5], [0, 0.5, 0.5]], dtype=np.float64)
+    anions = cations + np.array([0.5, 0.0, 0.0])
+    return Crystal(
+        Lattice.cubic(a),
+        np.array([a_z] * 4 + [b_z] * 4),
+        np.vstack([cations, anions]),
+        name=f"rocksalt-{element(a_z).symbol}{element(b_z).symbol}",
+    )
+
+
+def fluorite(a_z: int, b_z: int) -> Crystal:
+    """CaF2-type conventional cell: 12 atoms (4 A + 8 B)."""
+    d = suggest_bond_length(a_z, b_z)
+    a = 4.0 * d / np.sqrt(3.0)
+    cations = np.array([[0, 0, 0], [0.5, 0.5, 0], [0.5, 0, 0.5], [0, 0.5, 0.5]], dtype=np.float64)
+    frac_b = []
+    for base in cations:
+        frac_b.append(base + np.array([0.25, 0.25, 0.25]))
+        frac_b.append(base + np.array([0.25, 0.25, 0.75]))
+    return Crystal(
+        Lattice.cubic(a),
+        np.array([a_z] * 4 + [b_z] * 8),
+        np.vstack([cations, np.array(frac_b) % 1.0]),
+        name=f"fluorite-{element(a_z).symbol}{element(b_z).symbol}",
+    )
+
+
+def perovskite(a_z: int, b_z: int, x_z: int) -> Crystal:
+    """ABX3 cubic perovskite: 5 atoms."""
+    d = suggest_bond_length(b_z, x_z)
+    a = 2.0 * d
+    frac = np.array(
+        [
+            [0.0, 0.0, 0.0],  # A corner
+            [0.5, 0.5, 0.5],  # B center
+            [0.5, 0.5, 0.0],  # X face centers
+            [0.5, 0.0, 0.5],
+            [0.0, 0.5, 0.5],
+        ]
+    )
+    return Crystal(
+        Lattice.cubic(a),
+        np.array([a_z, b_z, x_z, x_z, x_z]),
+        frac,
+        name=f"perovskite-{element(a_z).symbol}{element(b_z).symbol}{element(x_z).symbol}3",
+    )
+
+
+def zincblende(a_z: int, b_z: int) -> Crystal:
+    """Zincblende conventional cell: 8 atoms."""
+    d = suggest_bond_length(a_z, b_z)
+    a = 4.0 * d / np.sqrt(3.0)
+    cations = np.array([[0, 0, 0], [0.5, 0.5, 0], [0.5, 0, 0.5], [0, 0.5, 0.5]], dtype=np.float64)
+    anions = (cations + np.array([0.25, 0.25, 0.25])) % 1.0
+    return Crystal(
+        Lattice.cubic(a),
+        np.array([a_z] * 4 + [b_z] * 4),
+        np.vstack([cations, anions]),
+        name=f"zincblende-{element(a_z).symbol}{element(b_z).symbol}",
+    )
+
+
+def wurtzite(a_z: int, b_z: int) -> Crystal:
+    """Wurtzite: 4 atoms in a hexagonal cell."""
+    d = suggest_bond_length(a_z, b_z)
+    a = d * np.sqrt(8.0 / 3.0)
+    c = a * np.sqrt(8.0 / 3.0)
+    frac = np.array(
+        [
+            [1 / 3, 2 / 3, 0.0],
+            [2 / 3, 1 / 3, 0.5],
+            [1 / 3, 2 / 3, 0.375],
+            [2 / 3, 1 / 3, 0.875],
+        ]
+    )
+    return Crystal(
+        Lattice.hexagonal(a, c),
+        np.array([a_z, a_z, b_z, b_z]),
+        frac,
+        name=f"wurtzite-{element(a_z).symbol}{element(b_z).symbol}",
+    )
+
+
+def layered_limo2(m_z: int, li_z: int = 3, o_z: int = 8) -> Crystal:
+    """Layered LiMO2 (alpha-NaFeO2-like, idealized tetragonal): 4 atoms."""
+    d = suggest_bond_length(m_z, o_z)
+    a = d * np.sqrt(2.0)
+    c = 2.0 * (COVALENT_RADIUS[li_z] + COVALENT_RADIUS[m_z] + 2.0 * COVALENT_RADIUS[o_z])
+    frac = np.array(
+        [
+            [0.0, 0.0, 0.0],  # Li
+            [0.5, 0.5, 0.5],  # M
+            [0.0, 0.0, 0.27],  # O
+            [0.5, 0.5, 0.77],  # O
+        ]
+    )
+    return Crystal(
+        Lattice.orthorhombic(a, a, c),
+        np.array([li_z, m_z, o_z, o_z]),
+        frac,
+        name=f"layered-Li{element(m_z).symbol}O2",
+    )
+
+
+def bcc(z: int) -> Crystal:
+    """Body-centered-cubic element: 2 atoms."""
+    d = suggest_bond_length(z, z)
+    a = 2.0 * d / np.sqrt(3.0)
+    return Crystal(
+        Lattice.cubic(a),
+        np.array([z, z]),
+        np.array([[0.0, 0.0, 0.0], [0.5, 0.5, 0.5]]),
+        name=f"bcc-{element(z).symbol}",
+    )
+
+
+def fcc(z: int) -> Crystal:
+    """Face-centered-cubic element: 4 atoms."""
+    d = suggest_bond_length(z, z)
+    a = d * np.sqrt(2.0)
+    frac = np.array([[0, 0, 0], [0.5, 0.5, 0], [0.5, 0, 0.5], [0, 0.5, 0.5]], dtype=np.float64)
+    return Crystal(Lattice.cubic(a), np.full(4, z), frac, name=f"fcc-{element(z).symbol}")
+
+
+def packed_grid(species: np.ndarray, rng: np.random.Generator, jitter: float = 0.12) -> Crystal:
+    """Arbitrary composition on a jittered cubic grid.
+
+    Used for compositions with no simple prototype (e.g. LiTiPO5): atoms are
+    placed on the smallest cubic grid that holds them, with cell size chosen
+    so nearest-neighbor distances match covalent-radius sums, then shuffled
+    and jittered.
+    """
+    species = np.asarray(species, dtype=np.int64)
+    n = len(species)
+    if n == 0:
+        raise ValueError("species must be non-empty")
+    m = int(np.ceil(n ** (1.0 / 3.0)))
+    grid = np.array(
+        [[i, j, k] for i in range(m) for j in range(m) for k in range(m)], dtype=np.float64
+    )
+    order = rng.permutation(len(grid))[:n]
+    frac = (grid[order] + 0.5) / m
+    frac += rng.normal(scale=jitter / m, size=frac.shape)
+    mean_r = float(np.mean(COVALENT_RADIUS[species]))
+    a = m * 2.1 * mean_r
+    return Crystal(Lattice.cubic(a), species, frac % 1.0, name="grid")
+
+
+def named_structures() -> dict[str, Crystal]:
+    """The three Table II molecular-dynamics systems with exact atom counts.
+
+    ========== ===== =============================================
+    name       atoms construction
+    ========== ===== =============================================
+    LiMnO2         8 layered LiMnO2 doubled along c
+    LiTiPO5       32 4 formula units on a packed grid
+    Li9Co7O16     32 2x2x1 rocksalt supercell, 9 Li + 7 Co on the
+                     cation sublattice
+    ========== ===== =============================================
+    """
+    limno2 = layered_limo2(25).supercell((1, 1, 2))
+    limno2.name = "LiMnO2"
+
+    rng = np.random.default_rng(20250610)
+    litipo5 = packed_grid(np.array([3] * 4 + [22] * 4 + [15] * 4 + [8] * 20), rng)
+    litipo5.name = "LiTiPO5"
+
+    base = rocksalt(27, 8).supercell((2, 2, 1))  # 16 Co + 16 O
+    species = base.species.copy()
+    cation_sites = np.flatnonzero(species == 27)
+    species[cation_sites[:9]] = 3  # swap 9 cobalt for lithium
+    li9 = Crystal(base.lattice, species, base.frac_coords, name="Li9Co7O16")
+
+    return {"LiMnO2": limno2, "LiTiPO5": litipo5, "Li9Co7O16": li9}
+
+
+PROTOTYPE_BUILDERS = {
+    "cscl": cscl,
+    "rocksalt": rocksalt,
+    "fluorite": fluorite,
+    "perovskite": perovskite,
+    "zincblende": zincblende,
+    "wurtzite": wurtzite,
+    "layered_limo2": layered_limo2,
+    "bcc": bcc,
+    "fcc": fcc,
+}

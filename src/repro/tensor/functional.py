@@ -1,0 +1,85 @@
+"""Composed (non-primitive) tensor functions.
+
+These build on the primitives and therefore launch several kernels each —
+exactly how the reference CHGNet computes them.  The fused one-kernel
+variants live in :mod:`repro.tensor.ops_fused`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.tensor.engine import Tensor
+from repro.tensor.ops_math import (
+    absolute,
+    add,
+    astensor,
+    div,
+    mean,
+    mul,
+    sigmoid,
+    sqrt,
+    sub,
+    sum as tsum,
+    where,
+)
+
+
+def silu_reference(x: Tensor) -> Tensor:
+    """SiLU composed as ``x * sigmoid(x)`` (two kernels, reference path)."""
+    return mul(x, sigmoid(x))
+
+
+def layernorm_reference(x: Tensor, gamma: Tensor, beta: Tensor, eps: float = 1e-5) -> Tensor:
+    """Layer normalization composed from base primitives (~9 kernels).
+
+    This is the unfused form the reference CHGNet launches twice per
+    GatedMLP; compare :func:`repro.tensor.ops_fused.fused_layernorm`.
+    """
+    mu = mean(x, axis=-1, keepdims=True)
+    xc = sub(x, mu)
+    var = mean(mul(xc, xc), axis=-1, keepdims=True)
+    xhat = div(xc, sqrt(add(var, eps)))
+    return add(mul(gamma, xhat), beta)
+
+
+def norm_rows(x: Tensor, eps: float = 0.0) -> Tensor:
+    """Euclidean norm of each row of an ``(n, d)`` tensor -> ``(n,)``."""
+    sq = tsum(mul(x, x), axis=-1)
+    if eps:
+        sq = add(sq, eps)
+    return sqrt(sq)
+
+
+def huber_loss(pred: Tensor, target: Tensor, delta: float = 0.1) -> Tensor:
+    """Mean Huber loss (the paper's training criterion).
+
+    Quadratic within ``delta`` of the target, linear outside:
+    ``0.5*d^2`` if ``|d| <= delta`` else ``delta*(|d| - 0.5*delta)``.
+    """
+    target = astensor(target)
+    d = sub(pred, target)
+    ad = absolute(d)
+    quad = mul(mul(d, d), 0.5)
+    lin = mul(sub(ad, 0.5 * delta), delta)
+    return mean(where(ad.data <= delta, quad, lin))
+
+
+def mse_loss(pred: Tensor, target: Tensor) -> Tensor:
+    """Mean squared error."""
+    d = sub(pred, astensor(target))
+    return mean(mul(d, d))
+
+
+def mae(pred: Tensor, target: Tensor) -> float:
+    """Mean absolute error as a Python float (metric, not differentiable)."""
+    return float(np.mean(np.abs(pred.data - np.asarray(target))))
+
+
+def softplus(x: Tensor, beta: float = 1.0) -> Tensor:
+    """Numerically stable softplus composed from primitives."""
+    from repro.tensor.ops_math import exp, log, maximum, neg
+
+    bx = mul(x, beta)
+    # log(1 + exp(bx)) = max(bx, 0) + log(1 + exp(-|bx|))
+    return div(add(maximum(bx, 0.0), log(add(1.0, exp(neg(absolute(bx)))))), beta)

@@ -1,0 +1,39 @@
+"""Training harness: loss, optimizers, schedules, trainers, metrics."""
+
+from repro.train.distributed import DistributedConfig, DistributedTrainer, StepStats
+from repro.train.loss import CompositeLoss, LossBreakdown, LossWeights
+from repro.train.metrics import EvalResult, ParityData, evaluate, mae, r_squared
+from repro.train.optimizer import SGD, Adam, Optimizer
+from repro.train.schedule import (
+    BASE_LR,
+    LR_SCALE_K,
+    ConstantLR,
+    CosineAnnealingLR,
+    scaled_learning_rate,
+)
+from repro.train.trainer import EpochRecord, TrainConfig, Trainer
+
+__all__ = [
+    "DistributedConfig",
+    "DistributedTrainer",
+    "StepStats",
+    "CompositeLoss",
+    "LossBreakdown",
+    "LossWeights",
+    "EvalResult",
+    "ParityData",
+    "evaluate",
+    "mae",
+    "r_squared",
+    "SGD",
+    "Adam",
+    "Optimizer",
+    "BASE_LR",
+    "LR_SCALE_K",
+    "ConstantLR",
+    "CosineAnnealingLR",
+    "scaled_learning_rate",
+    "EpochRecord",
+    "TrainConfig",
+    "Trainer",
+]

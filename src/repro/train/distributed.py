@@ -1,0 +1,163 @@
+"""Data-parallel training over simulated ranks.
+
+Functionally exact data parallelism: one model replica per rank, per-rank
+forward/backward on the sampler's shard, gradient averaging through
+:class:`~repro.comm.communicator.SimCommunicator`, identical optimizer steps
+everywhere.  Replicas provably stay bit-identical (tested), which is the
+invariant real DDP maintains.  Wall-clock behavior of a *cluster* is modeled
+separately (:mod:`repro.comm.scaling`) from measured per-rank compute plus
+the alpha-beta communication model.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+from repro.comm.communicator import SimCommunicator
+from repro.data.dataset import StructureDataset
+from repro.data.loader import ShardedLoader
+from repro.data.samplers import DefaultSampler, LoadBalanceSampler
+from repro.graph.batching import GraphBatch
+from repro.model.chgnet import CHGNetModel
+from repro.train.loss import CompositeLoss, LossWeights
+from repro.train.optimizer import Adam
+from repro.train.schedule import CosineAnnealingLR, scaled_learning_rate
+
+
+@dataclass
+class DistributedConfig:
+    """Configuration of a simulated multi-GPU run."""
+
+    world_size: int = 4
+    global_batch_size: int = 32
+    epochs: int = 1
+    scale_lr: bool = True  # Eq. 14 on the *global* batch size
+    learning_rate: float | None = None
+    load_balance: bool = True
+    loss_weights: LossWeights = field(default_factory=LossWeights)
+    huber_delta: float = 0.1
+    seed: int = 0
+
+    def resolve_lr(self) -> float:
+        if self.learning_rate is not None:
+            return self.learning_rate
+        if self.scale_lr:
+            return scaled_learning_rate(self.global_batch_size)
+        from repro.train.schedule import BASE_LR
+
+        return BASE_LR
+
+
+@dataclass
+class StepStats:
+    """Per-step record: loss plus per-rank compute seconds (for the model)."""
+
+    loss: float
+    energy_mae: float
+    force_mae: float
+    rank_compute_seconds: np.ndarray
+    rank_feature_numbers: np.ndarray
+
+
+class DistributedTrainer:
+    """DDP-style trainer across ``world_size`` simulated ranks."""
+
+    def __init__(
+        self,
+        model_factory: Callable[[], CHGNetModel],
+        train_dataset: StructureDataset,
+        config: DistributedConfig | None = None,
+    ) -> None:
+        self.config = config or DistributedConfig()
+        cfg = self.config
+        self.replicas = [model_factory() for _ in range(cfg.world_size)]
+        # Synchronize initial weights, as DDP broadcasts from rank 0.
+        state = self.replicas[0].state_dict()
+        for rep in self.replicas[1:]:
+            rep.load_state_dict(state)
+        self.comm = SimCommunicator(cfg.world_size)
+        self.loss_fn = CompositeLoss(cfg.loss_weights, cfg.huber_delta)
+        lr = cfg.resolve_lr()
+        self.optimizers = [Adam(rep.parameters(), lr=lr) for rep in self.replicas]
+
+        sampler_cls = LoadBalanceSampler if cfg.load_balance else DefaultSampler
+        self.sampler = sampler_cls(
+            train_dataset.feature_numbers,
+            cfg.global_batch_size,
+            cfg.world_size,
+            seed=cfg.seed,
+        )
+        self.loader = ShardedLoader(train_dataset, self.sampler)
+        total_steps = max(1, len(self.loader) * cfg.epochs)
+        self.schedulers = [
+            CosineAnnealingLR(opt, total_steps, eta_min=0.01 * lr) for opt in self.optimizers
+        ]
+        self.steps: list[StepStats] = []
+
+    def train_step(self, shards: list[GraphBatch]) -> StepStats:
+        """One synchronized step: local grads, allreduce, identical updates."""
+        cfg = self.config
+        if len(shards) != cfg.world_size:
+            raise ValueError(f"{len(shards)} shards for {cfg.world_size} ranks")
+        per_rank_grads: list[list[np.ndarray]] = []
+        compute_times = np.zeros(cfg.world_size)
+        losses = np.zeros(cfg.world_size)
+        e_maes = np.zeros(cfg.world_size)
+        f_maes = np.zeros(cfg.world_size)
+        for rank, (model, batch) in enumerate(zip(self.replicas, shards)):
+            t0 = time.perf_counter()
+            model.zero_grad()
+            out = model.forward(batch, training=True)
+            breakdown = self.loss_fn(out, batch)
+            breakdown.loss.backward()
+            compute_times[rank] = time.perf_counter() - t0
+            losses[rank] = float(breakdown.loss.data)
+            e_maes[rank] = breakdown.energy_mae
+            f_maes[rank] = breakdown.force_mae
+            grads = []
+            for p in model.parameters():
+                grads.append(np.zeros_like(p.data) if p.grad is None else p.grad.data)
+            per_rank_grads.append(grads)
+
+        averaged = self.comm.allreduce_mean_lists(per_rank_grads)
+        for rank, (opt, sched) in enumerate(zip(self.optimizers, self.schedulers)):
+            opt.set_gradients(averaged[rank])
+            opt.step()
+            sched.step()
+
+        stats = StepStats(
+            loss=float(losses.mean()),
+            energy_mae=float(e_maes.mean()),
+            force_mae=float(f_maes.mean()),
+            rank_compute_seconds=compute_times,
+            rank_feature_numbers=np.array([b.feature_number for b in shards], dtype=float),
+        )
+        self.steps.append(stats)
+        return stats
+
+    def train_epoch(self) -> list[StepStats]:
+        return [self.train_step(shards) for shards in self.loader]
+
+    def train(self) -> list[StepStats]:
+        for _ in range(self.config.epochs):
+            self.train_epoch()
+        return self.steps
+
+    def replicas_in_sync(self, atol: float = 0.0) -> bool:
+        """Whether all replicas hold identical weights (the DDP invariant)."""
+        ref = self.replicas[0].state_dict()
+        for rep in self.replicas[1:]:
+            other = rep.state_dict()
+            for name, arr in ref.items():
+                if not np.allclose(arr, other[name], atol=atol, rtol=0.0):
+                    return False
+        return True
+
+    @property
+    def model(self) -> CHGNetModel:
+        """Rank-0 replica (all replicas are identical after each step)."""
+        return self.replicas[0]

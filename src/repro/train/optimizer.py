@@ -1,0 +1,113 @@
+"""Optimizers: Adam (the paper's choice) and SGD with momentum.
+
+Parameter updates run as direct in-place NumPy operations; each parameter's
+update is recorded as one fused "kernel" with the runtime (as a fused
+optimizer kernel would launch on a GPU).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.runtime.kernels import record_kernel
+from repro.tensor.module import Parameter
+
+
+class Optimizer:
+    """Base optimizer over a list of :class:`Parameter`."""
+
+    def __init__(self, params: list[Parameter], lr: float) -> None:
+        if not params:
+            raise ValueError("optimizer needs at least one parameter")
+        if lr <= 0:
+            raise ValueError(f"learning rate must be positive, got {lr}")
+        self.params = list(params)
+        self.lr = lr
+
+    def zero_grad(self) -> None:
+        for p in self.params:
+            p.grad = None
+
+    def step(self) -> None:
+        raise NotImplementedError
+
+    def gradients(self) -> list[np.ndarray | None]:
+        """Current gradient arrays (``None`` where absent) — comm hook point."""
+        return [None if p.grad is None else p.grad.data for p in self.params]
+
+    def set_gradients(self, grads: list[np.ndarray]) -> None:
+        """Overwrite parameter gradients (after an allreduce)."""
+        from repro.tensor.engine import Tensor
+
+        if len(grads) != len(self.params):
+            raise ValueError(f"{len(grads)} gradients for {len(self.params)} params")
+        for p, g in zip(self.params, grads):
+            if g.shape != p.shape:
+                raise ValueError(f"gradient shape {g.shape} != param shape {p.shape}")
+            p.grad = Tensor(g)
+
+
+class Adam(Optimizer):
+    """Adam with bias correction (the paper's optimizer)."""
+
+    def __init__(
+        self,
+        params: list[Parameter],
+        lr: float = 3e-4,
+        betas: tuple[float, float] = (0.9, 0.999),
+        eps: float = 1e-8,
+        weight_decay: float = 0.0,
+    ) -> None:
+        super().__init__(params, lr)
+        self.beta1, self.beta2 = betas
+        self.eps = eps
+        self.weight_decay = weight_decay
+        self.t = 0
+        self._m = [np.zeros_like(p.data) for p in self.params]
+        self._v = [np.zeros_like(p.data) for p in self.params]
+
+    def step(self) -> None:
+        self.t += 1
+        b1, b2 = self.beta1, self.beta2
+        bc1 = 1.0 - b1**self.t
+        bc2 = 1.0 - b2**self.t
+        for i, p in enumerate(self.params):
+            if p.grad is None:
+                continue
+            g = p.grad.data
+            if self.weight_decay:
+                g = g + self.weight_decay * p.data
+            m, v = self._m[i], self._v[i]
+            m *= b1
+            m += (1.0 - b1) * g
+            v *= b2
+            v += (1.0 - b2) * g * g
+            p.data -= self.lr * (m / bc1) / (np.sqrt(v / bc2) + self.eps)
+            record_kernel("adam_step", p.data.nbytes)
+
+
+class SGD(Optimizer):
+    """SGD with optional momentum (baseline comparator)."""
+
+    def __init__(
+        self,
+        params: list[Parameter],
+        lr: float = 1e-3,
+        momentum: float = 0.0,
+    ) -> None:
+        super().__init__(params, lr)
+        self.momentum = momentum
+        self._buf = [np.zeros_like(p.data) for p in self.params] if momentum else None
+
+    def step(self) -> None:
+        for i, p in enumerate(self.params):
+            if p.grad is None:
+                continue
+            g = p.grad.data
+            if self._buf is not None:
+                buf = self._buf[i]
+                buf *= self.momentum
+                buf += g
+                g = buf
+            p.data -= self.lr * g
+            record_kernel("sgd_step", p.data.nbytes)

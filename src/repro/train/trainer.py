@@ -1,0 +1,138 @@
+"""Single-device trainer: the paper's training loop at any OptLevel."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.data.dataset import StructureDataset
+from repro.data.loader import DataLoader
+from repro.graph.batching import GraphBatch
+from repro.model.chgnet import CHGNetModel
+from repro.train.loss import CompositeLoss, LossBreakdown, LossWeights
+from repro.train.metrics import EvalResult, evaluate
+from repro.train.optimizer import Adam
+from repro.train.schedule import BASE_LR, CosineAnnealingLR, scaled_learning_rate
+
+
+@dataclass
+class TrainConfig:
+    """Hyperparameters of one training run (paper Section IV defaults)."""
+
+    epochs: int = 30
+    batch_size: int = 128
+    learning_rate: float | None = None  # None -> BASE_LR (no scaling)
+    scale_lr: bool = False  # apply Eq. 14 to the batch size
+    loss_weights: LossWeights = field(default_factory=LossWeights)
+    huber_delta: float = 0.1
+    seed: int = 0
+    prefetch: bool = False
+    cosine_eta_min_frac: float = 0.01
+
+    def resolve_lr(self) -> float:
+        if self.learning_rate is not None:
+            return self.learning_rate
+        if self.scale_lr:
+            return scaled_learning_rate(self.batch_size)
+        return BASE_LR
+
+
+@dataclass
+class EpochRecord:
+    """Aggregated metrics of one epoch."""
+
+    epoch: int
+    train_loss: float
+    train_energy_mae: float
+    train_force_mae: float
+    train_stress_mae: float
+    train_magmom_mae: float
+    val: EvalResult | None = None
+    lr: float = 0.0
+
+
+class Trainer:
+    """Train a CHGNet/FastCHGNet model on a :class:`StructureDataset`."""
+
+    def __init__(
+        self,
+        model: CHGNetModel,
+        train_dataset: StructureDataset,
+        val_dataset: StructureDataset | None = None,
+        config: TrainConfig | None = None,
+    ) -> None:
+        self.model = model
+        self.train_dataset = train_dataset
+        self.val_dataset = val_dataset
+        self.config = config or TrainConfig()
+        self.loss_fn = CompositeLoss(self.config.loss_weights, self.config.huber_delta)
+        self.optimizer = Adam(model.parameters(), lr=self.config.resolve_lr())
+        self.loader = DataLoader(
+            train_dataset,
+            batch_size=min(self.config.batch_size, len(train_dataset)),
+            seed=self.config.seed,
+            prefetch=self.config.prefetch,
+        )
+        total_steps = max(1, len(self.loader) * self.config.epochs)
+        self.scheduler = CosineAnnealingLR(
+            self.optimizer,
+            total_steps,
+            eta_min=self.config.cosine_eta_min_frac * self.optimizer.lr,
+        )
+        self.history: list[EpochRecord] = []
+
+    def train_step(self, batch: GraphBatch) -> LossBreakdown:
+        """One optimization step: forward, composite loss, backward, Adam."""
+        self.model.zero_grad()
+        output = self.model.forward(batch, training=True)
+        breakdown = self.loss_fn(output, batch)
+        breakdown.loss.backward()
+        self.optimizer.step()
+        self.scheduler.step()
+        return breakdown
+
+    def train_epoch(self, epoch: int) -> EpochRecord:
+        sums = np.zeros(5)
+        n = 0
+        for batch in self.loader:
+            b = self.train_step(batch)
+            sums += [
+                float(b.loss.data),
+                b.energy_mae,
+                b.force_mae,
+                b.stress_mae,
+                b.magmom_mae,
+            ]
+            n += 1
+        if n == 0:
+            raise RuntimeError("training epoch produced no batches (dataset too small?)")
+        avg = sums / n
+        record = EpochRecord(
+            epoch=epoch,
+            train_loss=avg[0],
+            train_energy_mae=avg[1],
+            train_force_mae=avg[2],
+            train_stress_mae=avg[3],
+            train_magmom_mae=avg[4],
+            lr=self.optimizer.lr,
+        )
+        if self.val_dataset is not None:
+            record.val, _ = evaluate(self.model, self.val_dataset)
+        self.history.append(record)
+        return record
+
+    def train(self, verbose: bool = False) -> list[EpochRecord]:
+        """Run the configured number of epochs; returns the history."""
+        for epoch in range(self.config.epochs):
+            record = self.train_epoch(epoch)
+            if verbose:
+                msg = (
+                    f"epoch {epoch:3d} loss={record.train_loss:.4f} "
+                    f"E={record.train_energy_mae * 1e3:7.1f}meV/atom "
+                    f"F={record.train_force_mae * 1e3:7.1f}meV/A lr={record.lr:.2e}"
+                )
+                if record.val:
+                    msg += f" | val E={record.val.energy_mae * 1e3:7.1f}"
+                print(msg, flush=True)
+        return self.history

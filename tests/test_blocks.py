@@ -1,0 +1,151 @@
+"""Interaction-block sub-modules: AtomConv, BondConv, AngleUpdate wiring."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.graph import build_graph, collate
+from repro.model import CHGNetConfig, OptLevel
+from repro.model.blocks import AngleUpdate, AtomConv, BondConv, InteractionBlock, bond_angle_input
+from repro.structures import rocksalt
+from repro.tensor import Tensor, gather_rows
+
+
+@pytest.fixture(scope="module")
+def batch():
+    return collate([build_graph(rocksalt(3, 8))])
+
+
+@pytest.fixture(scope="module")
+def cfg(small_config):
+    return small_config.with_level(OptLevel.PARALLEL_BASIS)
+
+
+def _features(batch, dim, rng):
+    v = Tensor(rng.normal(size=(batch.num_atoms, dim)))
+    e = Tensor(rng.normal(size=(batch.num_edges, dim)))
+    e_short = gather_rows(e, batch.short_idx)
+    a = Tensor(rng.normal(size=(batch.num_angles, dim)))
+    ea = Tensor(rng.normal(size=(batch.num_edges, dim)))
+    ebw = Tensor(rng.normal(size=(batch.num_short_edges, dim)))
+    return v, e, e_short, a, ea, ebw
+
+
+class TestAtomConv:
+    def test_output_shape_and_residual(self, cfg, batch, rng):
+        v, e, _, _, ea, _ = _features(batch, cfg.atom_fea_dim, rng)
+        conv = AtomConv(cfg, np.random.default_rng(1))
+        out = conv(v, e, ea, batch)
+        assert out.shape == v.shape
+        assert not np.allclose(out.data, v.data)  # message added
+
+    def test_zero_weights_give_identity(self, cfg, batch, rng):
+        """With the projection zeroed, the residual makes AtomConv identity."""
+        v, e, _, _, ea, _ = _features(batch, cfg.atom_fea_dim, rng)
+        conv = AtomConv(cfg, np.random.default_rng(1))
+        conv.proj.weight.data[:] = 0.0
+        conv.proj.bias.data[:] = 0.0
+        out = conv(v, e, ea, batch)
+        assert np.allclose(out.data, v.data)
+
+    def test_message_locality(self, cfg, rng):
+        """Atom features only aggregate from their own structure's edges."""
+        b2 = collate([build_graph(rocksalt(3, 8)), build_graph(rocksalt(11, 17))])
+        v, e, _, _, ea, _ = _features(b2, cfg.atom_fea_dim, rng)
+        conv = AtomConv(cfg, np.random.default_rng(1))
+        base = conv(v, e, ea, b2).data.copy()
+        # perturb only the second structure's edge features
+        e2 = e.data.copy()
+        e2[b2.edge_offsets[1] :] += 1.0
+        out = conv(Tensor(v.data), Tensor(e2), ea, b2).data
+        n0 = b2.atom_offsets[1]
+        assert np.allclose(out[:n0], base[:n0])  # structure 0 untouched
+        assert not np.allclose(out[n0:], base[n0:])
+
+
+class TestBondConv:
+    def test_updates_only_short_edges(self, cfg, batch, rng):
+        v, e, e_short, a, ea, ebw = _features(batch, cfg.bond_fea_dim, rng)
+        conv = BondConv(cfg, np.random.default_rng(1))
+        out_short = conv(v, e_short, ebw, a, batch)
+        assert out_short.shape == (batch.num_short_edges, cfg.bond_fea_dim)
+
+    def test_weighting_by_bond_basis(self, cfg, batch, rng):
+        """Zero bond weights silence all three-body messages (residual only)."""
+        v, e, e_short, a, ea, ebw = _features(batch, cfg.bond_fea_dim, rng)
+        conv = BondConv(cfg, np.random.default_rng(1))
+        zero_w = Tensor(np.zeros_like(ebw.data))
+        out = conv(v, e_short, zero_w, a, batch)
+        # proj(0) = bias only, broadcast over rows
+        expected = e_short.data + conv.proj.bias.data
+        assert np.allclose(out.data, expected)
+
+
+class TestAngleUpdate:
+    def test_residual_form(self, cfg, batch, rng):
+        v, e, e_short, a, ea, ebw = _features(batch, cfg.angle_fea_dim, rng)
+        upd = AngleUpdate(cfg, np.random.default_rng(1))
+        out = upd(v, e_short, a, batch)
+        assert out.shape == a.shape
+
+    def test_shared_input_equals_bond_input(self, cfg, batch, rng):
+        """Eq. 11: BondConv and AngleUpdate consume the identical feature."""
+        v, e, e_short, a, ea, ebw = _features(batch, cfg.angle_fea_dim, rng)
+        fe = bond_angle_input(v, e_short, a, batch)
+        fa = bond_angle_input(v, e_short, a, batch)
+        assert np.array_equal(fe.data, fa.data)
+        assert fe.shape == (batch.num_angles, 4 * cfg.angle_fea_dim)
+
+
+class TestInteractionBlock:
+    def test_angle_without_bond_rejected(self, cfg):
+        with pytest.raises(ValueError):
+            InteractionBlock(cfg, np.random.default_rng(0), with_bond=False, with_angle=True)
+
+    def test_block_without_bond_passes_features_through(self, cfg, batch, rng):
+        v, e, e_short, a, ea, ebw = _features(batch, cfg.atom_fea_dim, rng)
+        block = InteractionBlock(cfg, np.random.default_rng(1), with_bond=False, with_angle=False)
+        v2, e2, es2, a2 = block(v, e, e_short, a, ea, ebw, batch)
+        assert np.array_equal(e2.data, e.data)
+        assert np.array_equal(a2.data, a.data)
+        assert not np.allclose(v2.data, v.data)
+
+    def test_fused_packing_matches_unpacked_dependency_elimination(
+        self, small_config, batch, rng
+    ):
+        """FUSED packing is numerically equal to unpacked Eq. 11 wiring."""
+        cfg_elim_unpacked = small_config.with_level(OptLevel.FUSED)
+        # Build the fused block, then emulate the unpacked path by calling
+        # the sub-modules directly with stale inputs.
+        block = InteractionBlock(cfg_elim_unpacked, np.random.default_rng(3))
+        v, e, e_short, a, ea, ebw = _features(batch, small_config.atom_fea_dim, rng)
+        v2, e2, es2, a2 = block(v, e, e_short, a, ea, ebw, batch)
+
+        # manual Eq. 11: same sub-modules, sequential (unpacked) evaluation
+        e_short_manual = block.bond_conv(v, e_short, ebw, a, batch)
+        a_manual = block.angle_update(v, e_short, a, batch)
+        assert np.allclose(es2.data, e_short_manual.data, atol=1e-10)
+        assert np.allclose(a2.data, a_manual.data, atol=1e-10)
+
+    def test_reference_vs_eliminated_wiring_differ(self, small_config, batch, rng):
+        """Eq. 10 and Eq. 11 are different functions (for nonzero features)."""
+        state = None
+        outs = {}
+        for level in (OptLevel.PARALLEL_BASIS, OptLevel.FUSED):
+            cfg = small_config.with_level(level)
+            block = InteractionBlock(cfg, np.random.default_rng(3))
+            if state is None:
+                state = block.state_dict()
+            else:
+                block.load_state_dict(state)
+            rng_local = np.random.default_rng(0)
+            v, e, e_short, a, ea, ebw = _features(batch, cfg.atom_fea_dim, rng_local)
+            outs[level] = block(v, e, e_short, a, ea, ebw, batch)
+        # atom conv identical, bond/angle differ (they read stale vs fresh v)
+        assert np.allclose(
+            outs[OptLevel.PARALLEL_BASIS][0].data, outs[OptLevel.FUSED][0].data, atol=1e-10
+        )
+        assert not np.allclose(
+            outs[OptLevel.PARALLEL_BASIS][3].data, outs[OptLevel.FUSED][3].data, atol=1e-6
+        )

@@ -1,0 +1,218 @@
+"""Fused kernels: numerical equivalence to reference compositions + grads.
+
+The correctness contract of FastCHGNet's "kernel fusion + redundancy
+bypass": every fused kernel computes exactly what the reference composition
+computes, in one launch, with exact first- and second-order gradients.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.model.basis import envelope_reference
+from repro.runtime import kernel_stats
+from repro.tensor import (
+    Tensor,
+    fused_envelope,
+    fused_fourier,
+    fused_layernorm,
+    fused_scale_shift,
+    fused_srbf,
+    mul,
+    sum as tsum,
+)
+from repro.tensor.functional import layernorm_reference
+from repro.tensor.gradcheck import check_grad, check_second_grad
+from repro.tensor.ops_fused import _envelope_coeffs
+
+
+class TestEnvelope:
+    def test_matches_reference(self, rng):
+        xi = Tensor(rng.uniform(0.05, 0.99, size=(40,)))
+        assert np.allclose(fused_envelope(xi, 8.0).data, envelope_reference(xi, 8.0).data)
+
+    def test_u_at_zero_is_one(self):
+        assert np.isclose(fused_envelope(Tensor(np.zeros(1)), 8.0).data[0], 1.0)
+
+    def test_u_at_cutoff_is_zero(self):
+        """Eq. 12 as printed does NOT vanish at the cutoff; the corrected
+        DimeNet coefficients (used here) do."""
+        assert np.isclose(fused_envelope(Tensor(np.ones(1)), 8.0).data[0], 0.0, atol=1e-12)
+
+    def test_derivative_at_cutoff_is_zero(self):
+        """Smoothness: u'(1) = 0 for the DimeNet envelope."""
+        from repro.tensor import grad
+
+        xi = Tensor(np.array([1.0]), requires_grad=True)
+        (g,) = grad(tsum(fused_envelope(xi, 8.0)), [xi])
+        assert np.isclose(g.data[0], 0.0, atol=1e-10)
+
+    def test_monotone_decreasing(self, rng):
+        xi = np.sort(rng.uniform(0.0, 1.0, size=50))
+        u = fused_envelope(Tensor(xi), 8.0).data
+        assert np.all(np.diff(u) <= 1e-12)
+
+    def test_one_kernel(self):
+        xi = Tensor(np.linspace(0.1, 0.9, 10))
+        with kernel_stats() as ks:
+            fused_envelope(xi, 8.0)
+        assert ks.count == 1
+
+    def test_reference_uses_many_kernels(self):
+        xi = Tensor(np.linspace(0.1, 0.9, 10))
+        with kernel_stats() as ks:
+            envelope_reference(xi, 8.0)
+        assert ks.count > 5
+
+    def test_gradcheck(self, rng):
+        xi = Tensor(rng.uniform(0.1, 0.9, size=(6,)))
+        w = Tensor(rng.normal(size=(6,)))
+        check_grad(lambda x: tsum(mul(fused_envelope(x, 8.0), w)), [xi])
+
+    def test_coefficients_consistency(self):
+        a, b, c = _envelope_coeffs(8.0)
+        # u(1) = 1 - a + b - c must be zero
+        assert np.isclose(1.0 - a + b - c, 0.0)
+
+
+class TestFusedSRBF:
+    def _inputs(self, rng, n=7, k=5, rcut=6.0):
+        r = Tensor(rng.uniform(0.8, rcut * 0.95, size=(n,)))
+        freqs = Tensor(np.arange(1, k + 1) * np.pi / rcut)
+        return r, freqs
+
+    def test_matches_composition(self, rng):
+        from repro.model.basis import RadialBessel
+
+        r, freqs = self._inputs(rng)
+        fused = fused_srbf(r, freqs, 6.0, 8.0)
+        ref_mod = RadialBessel(5, 6.0, 8.0, fused=False)
+        ref_mod.freqs.data = freqs.data.copy()
+        assert np.allclose(fused.data, ref_mod(r).data, atol=1e-12)
+
+    def test_single_kernel(self, rng):
+        r, freqs = self._inputs(rng)
+        with kernel_stats() as ks:
+            fused_srbf(r, freqs, 6.0, 8.0)
+        assert ks.count == 1
+
+    def test_vanishes_at_cutoff(self):
+        r = Tensor(np.array([6.0 - 1e-12]))
+        freqs = Tensor(np.arange(1, 4) * np.pi / 6.0)
+        assert np.allclose(fused_srbf(r, freqs, 6.0, 8.0).data, 0.0, atol=1e-9)
+
+    def test_gradcheck_first_order(self, rng):
+        r, freqs = self._inputs(rng)
+        w = Tensor(rng.normal(size=(7, 5)))
+        check_grad(lambda rr, ff: tsum(mul(fused_srbf(rr, ff, 6.0, 8.0), w)), [r, freqs])
+
+    def test_gradcheck_second_order(self, rng):
+        r, freqs = self._inputs(rng, n=4, k=3)
+        w = Tensor(rng.normal(size=(4, 3)))
+        check_second_grad(
+            lambda rr, ff: tsum(mul(fused_srbf(rr, ff, 6.0, 8.0), w)), [r, freqs], wrt_first=0
+        )
+
+
+class TestFusedFourier:
+    def test_matches_composition(self, rng):
+        from repro.model.basis import FourierExpansion
+
+        theta = Tensor(rng.uniform(0.1, 3.0, size=(9,)))
+        fused = fused_fourier(theta, 4)
+        ref = FourierExpansion(4, fused=False)(theta)
+        assert np.allclose(fused.data, ref.data, atol=1e-12)
+
+    def test_width(self, rng):
+        theta = Tensor(rng.uniform(0.1, 3.0, size=(9,)))
+        assert fused_fourier(theta, 15).shape == (9, 31)
+
+    def test_single_kernel(self, rng):
+        theta = Tensor(rng.uniform(0.1, 3.0, size=(9,)))
+        with kernel_stats() as ks:
+            fused_fourier(theta, 4)
+        assert ks.count == 1
+
+    def test_gradcheck(self, rng):
+        theta = Tensor(rng.uniform(0.2, 2.9, size=(5,)))
+        w = Tensor(rng.normal(size=(5, 9)))
+        check_grad(lambda t: tsum(mul(fused_fourier(t, 4), w)), [theta])
+
+    def test_second_order(self, rng):
+        theta = Tensor(rng.uniform(0.2, 2.9, size=(4,)))
+        w = Tensor(rng.normal(size=(4, 7)))
+        check_second_grad(lambda t: tsum(mul(fused_fourier(t, 3), w)), [theta])
+
+
+class TestFusedLayerNorm:
+    def test_matches_reference(self, rng):
+        x = Tensor(rng.normal(size=(6, 8)))
+        gamma = Tensor(rng.normal(size=(8,)))
+        beta = Tensor(rng.normal(size=(8,)))
+        assert np.allclose(
+            fused_layernorm(x, gamma, beta).data,
+            layernorm_reference(x, gamma, beta).data,
+            atol=1e-12,
+        )
+
+    def test_normalizes(self, rng):
+        x = Tensor(rng.normal(size=(5, 16)) * 10 + 3)
+        out = fused_layernorm(x, Tensor(np.ones(16)), Tensor(np.zeros(16)))
+        assert np.allclose(out.data.mean(axis=-1), 0.0, atol=1e-10)
+        assert np.allclose(out.data.std(axis=-1), 1.0, atol=1e-2)
+
+    def test_single_kernel_vs_reference_many(self, rng):
+        x = Tensor(rng.normal(size=(5, 8)))
+        gamma, beta = Tensor(np.ones(8)), Tensor(np.zeros(8))
+        with kernel_stats() as fused_ks:
+            fused_layernorm(x, gamma, beta)
+        with kernel_stats() as ref_ks:
+            layernorm_reference(x, gamma, beta)
+        assert fused_ks.count == 1
+        assert ref_ks.count >= 7
+
+    def test_multihead_gamma(self, rng):
+        """The packed GatedMLP normalizes (n, heads, d) with (heads, d) params."""
+        x = Tensor(rng.normal(size=(5, 3, 8)))
+        gamma = Tensor(rng.normal(size=(3, 8)))
+        beta = Tensor(rng.normal(size=(3, 8)))
+        out = fused_layernorm(x, gamma, beta)
+        for h in range(3):
+            ref = layernorm_reference(
+                Tensor(x.data[:, h]), Tensor(gamma.data[h]), Tensor(beta.data[h])
+            )
+            assert np.allclose(out.data[:, h], ref.data, atol=1e-12)
+
+    def test_gradcheck(self, rng):
+        x = Tensor(rng.normal(size=(4, 6)))
+        gamma = Tensor(rng.normal(size=(6,)))
+        beta = Tensor(rng.normal(size=(6,)))
+        w = Tensor(rng.normal(size=(4, 6)))
+        check_grad(lambda a, g, b: tsum(mul(fused_layernorm(a, g, b), w)), [x, gamma, beta])
+
+    def test_gradcheck_multihead(self, rng):
+        x = Tensor(rng.normal(size=(3, 2, 5)))
+        gamma = Tensor(rng.normal(size=(2, 5)))
+        beta = Tensor(rng.normal(size=(2, 5)))
+        w = Tensor(rng.normal(size=(3, 2, 5)))
+        check_grad(lambda a, g, b: tsum(mul(fused_layernorm(a, g, b), w)), [x, gamma, beta])
+
+    def test_second_order(self, rng):
+        x = Tensor(rng.normal(size=(3, 4)))
+        gamma = Tensor(rng.normal(size=(4,)))
+        beta = Tensor(rng.normal(size=(4,)))
+        w = Tensor(rng.normal(size=(3, 4)))
+        check_second_grad(
+            lambda a, g, b: tsum(mul(fused_layernorm(a, g, b), w)), [x, gamma, beta]
+        )
+
+
+class TestFusedScaleShift:
+    def test_value(self, rng):
+        x = Tensor(rng.normal(size=(4,)))
+        assert np.allclose(fused_scale_shift(x, 2.0, 1.0).data, x.data * 2 + 1)
+
+    def test_gradcheck(self, rng):
+        x = Tensor(rng.normal(size=(4,)))
+        check_grad(lambda a: tsum(fused_scale_shift(a, 3.0, -1.0)), [x])

@@ -1,0 +1,157 @@
+"""Geometry stage: Algorithm 1 == Algorithm 2, derivative correctness."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.graph import build_graph, collate
+from repro.model import CHGNetConfig, OptLevel
+from repro.model.geometry import compute_geometry
+from repro.runtime import kernel_stats
+from repro.structures import cscl, perovskite, rocksalt
+from repro.tensor import Tensor, grad, sum as tsum
+
+
+@pytest.fixture(scope="module")
+def batch():
+    return collate([build_graph(c) for c in (cscl(11, 17), rocksalt(3, 8), perovskite(38, 22, 8))])
+
+
+SERIAL = CHGNetConfig(opt_level=OptLevel.BASELINE)
+PARALLEL = CHGNetConfig(opt_level=OptLevel.PARALLEL_BASIS)
+
+
+class TestSerialParallelEquivalence:
+    def test_distances_equal(self, batch):
+        a = compute_geometry(batch, SERIAL, differentiable=False)
+        b = compute_geometry(batch, PARALLEL, differentiable=False)
+        assert np.allclose(a.d6.data, b.d6.data, atol=1e-12)
+        assert np.allclose(a.d3.data, b.d3.data, atol=1e-12)
+
+    def test_vectors_equal(self, batch):
+        a = compute_geometry(batch, SERIAL, differentiable=False)
+        b = compute_geometry(batch, PARALLEL, differentiable=False)
+        assert np.allclose(a.vec6.data, b.vec6.data, atol=1e-12)
+
+    def test_angles_equal(self, batch):
+        a = compute_geometry(batch, SERIAL, differentiable=False)
+        b = compute_geometry(batch, PARALLEL, differentiable=False)
+        assert np.allclose(a.theta.data, b.theta.data, atol=1e-10)
+
+    def test_parallel_launches_far_fewer_kernels(self):
+        big = collate([build_graph(cscl(11, 17)) for _ in range(8)])
+        with kernel_stats() as ks_serial:
+            compute_geometry(big, SERIAL, differentiable=False)
+        with kernel_stats() as ks_parallel:
+            compute_geometry(big, PARALLEL, differentiable=False)
+        assert ks_parallel.count * 3 < ks_serial.count
+
+    def test_parallel_kernel_count_independent_of_batch_size(self):
+        b1 = collate([build_graph(cscl(11, 17))])
+        b4 = collate([build_graph(cscl(11, 17)) for _ in range(4)])
+        with kernel_stats() as k1:
+            compute_geometry(b1, PARALLEL, differentiable=False)
+        with kernel_stats() as k4:
+            compute_geometry(b4, PARALLEL, differentiable=False)
+        assert k1.count == k4.count
+
+    def test_serial_kernel_count_scales_with_batch(self):
+        b1 = collate([build_graph(cscl(11, 17))])
+        b4 = collate([build_graph(cscl(11, 17)) for _ in range(4)])
+        with kernel_stats() as k1:
+            compute_geometry(b1, SERIAL, differentiable=False)
+        with kernel_stats() as k4:
+            compute_geometry(b4, SERIAL, differentiable=False)
+        assert k4.count > 3 * k1.count
+
+
+class TestGeometryValues:
+    def test_distances_match_neighbor_list(self, batch):
+        from repro.structures import neighbor_list
+
+        geo = compute_geometry(batch, PARALLEL, differentiable=False)
+        crystals = [cscl(11, 17), rocksalt(3, 8), perovskite(38, 22, 8)]
+        dists = np.concatenate([neighbor_list(c, 6.0).dist for c in crystals])
+        assert np.allclose(geo.d6.data, dists, atol=1e-10)
+
+    def test_angles_in_range(self, batch):
+        geo = compute_geometry(batch, PARALLEL, differentiable=False)
+        assert np.all(geo.theta.data >= 0.0)
+        assert np.all(geo.theta.data <= np.pi)
+
+    def test_d3_is_short_subset(self, batch):
+        geo = compute_geometry(batch, PARALLEL, differentiable=False)
+        assert np.allclose(geo.d3.data, geo.d6.data[batch.short_idx])
+        assert np.all(geo.d3.data <= 3.0)
+
+    def test_volumes(self, batch):
+        geo = compute_geometry(batch, PARALLEL, differentiable=False)
+        assert np.allclose(geo.volumes, np.abs(np.linalg.det(batch.lattices)))
+
+    def test_not_differentiable_has_no_tensors(self, batch):
+        geo = compute_geometry(batch, PARALLEL, differentiable=False)
+        assert geo.disp is None and geo.strain is None
+        assert geo.d6.node is None  # nothing taped
+
+
+class TestDerivativePath:
+    @pytest.mark.parametrize("config", [SERIAL, PARALLEL], ids=["serial", "parallel"])
+    def test_distance_gradient_wrt_displacement(self, config):
+        """d(sum |r_ij|)/d(disp) matches central differences on the crystal.
+
+        The graph topology (edges/images) is held fixed; only Cartesian
+        positions move — exactly what the displacement tensor represents.
+        """
+        from repro.structures import Crystal
+
+        c = cscl(11, 17)
+        g_topo = build_graph(c)
+        batch = collate([g_topo])
+        geo = compute_geometry(batch, config, differentiable=True)
+        (g,) = grad(tsum(geo.d6), [geo.disp])
+
+        eps = 1e-6
+
+        def total_d(cart: np.ndarray) -> float:
+            b = collate([g_topo])
+            # unwrapped fractional coordinates: the stored periodic images
+            # remain valid only if positions are not re-wrapped
+            b.frac = c.lattice.cart_to_frac(cart)
+            geo2 = compute_geometry(b, config, differentiable=False)
+            return float(tsum(geo2.d6).data)
+
+        num = np.zeros_like(g.data)
+        for atom in range(batch.num_atoms):
+            for k in range(3):
+                plus = c.cart_coords.copy()
+                plus[atom, k] += eps
+                minus = c.cart_coords.copy()
+                minus[atom, k] -= eps
+                num[atom, k] = (total_d(plus) - total_d(minus)) / (2 * eps)
+        assert np.allclose(g.data, num, rtol=1e-5, atol=1e-7)
+
+    @pytest.mark.parametrize("config", [SERIAL, PARALLEL], ids=["serial", "parallel"])
+    def test_strain_gradient_isotropic(self, config):
+        """Isotropic strain derivative of total bond length equals its value.
+
+        All pair distances scale linearly under isotropic strain, so
+        ``d(sum d)/d(eps_iso) = sum d``; the trace of the strain gradient
+        must equal the total bond length.
+        """
+        batch = collate([build_graph(rocksalt(3, 8))])
+        geo = compute_geometry(batch, config, differentiable=True)
+        loss = tsum(geo.d6)
+        (g,) = grad(loss, [geo.strain])
+        trace = np.trace(g.data[0])
+        assert np.isclose(trace, float(loss.data), rtol=1e-8)
+
+    def test_create_graph_allows_weight_style_double_backward(self):
+        batch = collate([build_graph(cscl(11, 17))])
+        geo = compute_geometry(batch, PARALLEL, differentiable=True)
+        w = Tensor(np.ones_like(geo.d6.data), requires_grad=True)
+        energy = tsum(geo.d6 * w)
+        (gd,) = grad(energy, [geo.disp], create_graph=True, retain_graph=True)
+        loss = tsum(gd * gd)
+        (gw,) = grad(loss, [w])
+        assert np.all(np.isfinite(gw.data))

@@ -1,0 +1,118 @@
+"""Output heads: Force/Stress decomposition properties (Eqs. 7-9)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.graph import build_graph, collate
+from repro.model import OptLevel
+from repro.model.heads import EnergyHead, ForceHead, MagmomHead, StressHead
+from repro.model.geometry import compute_geometry
+from repro.structures import Crystal, Lattice, rocksalt
+from repro.tensor import Tensor
+
+
+@pytest.fixture(scope="module")
+def crystal():
+    return rocksalt(3, 8)
+
+
+@pytest.fixture(scope="module")
+def batch(crystal):
+    return collate([build_graph(crystal)])
+
+
+def _randomize(head, seed=99):
+    rng = np.random.default_rng(seed)
+    for name, p in head.named_parameters():
+        if np.all(p.data == 0.0) and "bias" not in name:
+            p.data = rng.normal(scale=0.1, size=p.shape)
+    return head
+
+
+class TestForceHead:
+    def test_shape(self, small_config, batch, rng):
+        head = ForceHead(small_config, np.random.default_rng(0))
+        geo = compute_geometry(batch, small_config.with_level(OptLevel.DECOMPOSE_FS), False)
+        e = Tensor(rng.normal(size=(batch.num_edges, small_config.bond_fea_dim)))
+        forces = head(e, geo.d6, geo.vec6, batch)
+        assert forces.shape == (batch.num_atoms, 3)
+
+    def test_symmetric_structure_zero_net_force(self, small_config, batch, rng):
+        """On a perfect rocksalt every atom's neighbor shell is symmetric:
+        identical bond features in opposite directions cancel exactly."""
+        head = _randomize(ForceHead(small_config, np.random.default_rng(0)))
+        cfg = small_config.with_level(OptLevel.DECOMPOSE_FS)
+        geo = compute_geometry(batch, cfg, False)
+        e = Tensor(np.ones((batch.num_edges, small_config.bond_fea_dim)))
+        forces = head(e, geo.d6, geo.vec6, batch)
+        assert np.allclose(forces.data, 0.0, atol=1e-9)
+
+    def test_magnitude_scales_with_mlp_output(self, small_config, batch, rng):
+        head = _randomize(ForceHead(small_config, np.random.default_rng(0)))
+        cfg = small_config.with_level(OptLevel.DECOMPOSE_FS)
+        geo = compute_geometry(batch, cfg, False)
+        e = Tensor(rng.normal(size=(batch.num_edges, small_config.bond_fea_dim)))
+        f1 = head(e, geo.d6, geo.vec6, batch).data
+        # double the final layer -> double the predicted force
+        head.mlp.layers[-1].weight.data *= 2.0
+        head.mlp.layers[-1].bias.data *= 2.0
+        f2 = head(e, geo.d6, geo.vec6, batch).data
+        assert np.allclose(f2, 2.0 * f1, atol=1e-10)
+
+
+class TestStressHead:
+    def test_shape(self, small_config, batch, rng):
+        head = StressHead(small_config, np.random.default_rng(0))
+        v = Tensor(rng.normal(size=(batch.num_atoms, small_config.atom_fea_dim)))
+        sigma = head(v, batch)
+        assert sigma.shape == (1, 3, 3)
+
+    def test_lattice_dyad_symmetric_rank_one(self):
+        lattices = np.stack([Lattice.cubic(3.0).matrix, Lattice.hexagonal(3.0, 5.0).matrix])
+        dyads = StressHead.lattice_dyad(lattices).reshape(-1, 3, 3)
+        for d in dyads:
+            assert np.allclose(d, d.T)
+            assert np.linalg.matrix_rank(d, tol=1e-10) == 1  # t (x) t
+
+    def test_dyad_rotates_with_lattice(self):
+        theta = 0.6
+        rot = np.array(
+            [
+                [np.cos(theta), -np.sin(theta), 0],
+                [np.sin(theta), np.cos(theta), 0],
+                [0, 0, 1.0],
+            ]
+        )
+        lat = Lattice.hexagonal(3.0, 5.0).matrix
+        d0 = StressHead.lattice_dyad(lat[None]).reshape(3, 3)
+        d1 = StressHead.lattice_dyad((lat @ rot.T)[None]).reshape(3, 3)
+        assert np.allclose(rot @ d0 @ rot.T, d1, atol=1e-10)
+
+    def test_scale_parameter_trainable(self, small_config):
+        head = StressHead(small_config, np.random.default_rng(0))
+        assert any(p is head.scale for p in head.parameters())
+
+
+class TestEnergyMagmomHeads:
+    def test_energy_per_atom_is_mean_of_sites(self, small_config, batch, rng):
+        head = EnergyHead(small_config, np.random.default_rng(0))
+        v = Tensor(rng.normal(size=(batch.num_atoms, small_config.atom_fea_dim)))
+        site, per_atom = head(v, batch)
+        assert site.shape == (batch.num_atoms,)
+        assert np.isclose(per_atom.data[0], site.data.mean())
+
+    def test_energy_multi_struct_means(self, small_config, rng):
+        b2 = collate([build_graph(rocksalt(3, 8)), build_graph(rocksalt(11, 17))])
+        head = EnergyHead(small_config, np.random.default_rng(0))
+        v = Tensor(rng.normal(size=(b2.num_atoms, small_config.atom_fea_dim)))
+        site, per_atom = head(v, b2)
+        n0 = b2.atom_offsets[1]
+        assert np.isclose(per_atom.data[0], site.data[:n0].mean())
+        assert np.isclose(per_atom.data[1], site.data[n0:].mean())
+
+    def test_magmom_per_site(self, small_config, batch, rng):
+        head = MagmomHead(small_config, np.random.default_rng(0))
+        v = Tensor(rng.normal(size=(batch.num_atoms, small_config.atom_fea_dim)))
+        assert head(v, batch).shape == (batch.num_atoms,)

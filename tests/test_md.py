@@ -1,0 +1,134 @@
+"""Molecular dynamics: integrator physics, calculators, Table II mechanics."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.md import (
+    MolecularDynamics,
+    ModelCalculator,
+    OracleCalculator,
+    instantaneous_temperature,
+    kinetic_energy,
+    maxwell_boltzmann_velocities,
+    VelocityVerlet,
+)
+from repro.model import CHGNetModel, OptLevel
+from repro.structures import cscl, rocksalt
+
+
+@pytest.fixture(scope="module")
+def crystal():
+    return cscl(11, 17).supercell((2, 1, 1))
+
+
+class TestVelocities:
+    def test_temperature_matches_request(self, crystal, rng):
+        temps = []
+        for seed in range(12):
+            v = maxwell_boltzmann_velocities(crystal, 300.0, np.random.default_rng(seed))
+            temps.append(instantaneous_temperature(crystal, v))
+        assert 100.0 < np.mean(temps) < 500.0
+
+    def test_zero_temperature_zero_velocity(self, crystal, rng):
+        v = maxwell_boltzmann_velocities(crystal, 0.0, rng)
+        assert np.allclose(v, 0.0)
+
+    def test_negative_temperature_raises(self, crystal, rng):
+        with pytest.raises(ValueError):
+            maxwell_boltzmann_velocities(crystal, -1.0, rng)
+
+    def test_no_center_of_mass_drift(self, crystal, rng):
+        from repro.structures.elements import ATOMIC_MASS
+
+        v = maxwell_boltzmann_velocities(crystal, 500.0, rng)
+        masses = ATOMIC_MASS[crystal.species]
+        assert np.allclose((masses[:, None] * v).sum(axis=0), 0.0, atol=1e-12)
+
+    def test_kinetic_energy_nonnegative(self, crystal, rng):
+        v = maxwell_boltzmann_velocities(crystal, 300.0, rng)
+        assert kinetic_energy(crystal, v) > 0.0
+
+
+class TestIntegrator:
+    def test_bad_timestep_raises(self):
+        with pytest.raises(ValueError):
+            VelocityVerlet(0.0)
+
+    def test_oracle_md_conserves_energy(self, crystal):
+        """NVE with consistent forces: total energy drift stays small."""
+        md = MolecularDynamics(
+            crystal, OracleCalculator(), timestep_fs=0.5, temperature_k=150.0, seed=1
+        )
+        result = md.run(15)
+        energies = result.energies
+        drift = np.abs(energies - energies[0]).max()
+        scale = max(np.abs(energies[0]), kinetic_energy(crystal, md.state.velocities), 1e-3)
+        assert drift < 0.05 * scale
+
+    def test_atoms_move(self, crystal):
+        md = MolecularDynamics(
+            crystal, OracleCalculator(), timestep_fs=1.0, temperature_k=300.0, seed=1
+        )
+        start = md.state.crystal.cart_coords.copy()
+        md.run(3)
+        assert not np.allclose(start, md.state.crystal.cart_coords)
+
+    def test_zero_steps_raises(self, crystal):
+        md = MolecularDynamics(crystal, OracleCalculator(), seed=1)
+        with pytest.raises(ValueError):
+            md.run(0)
+
+    def test_records_have_timings(self, crystal):
+        md = MolecularDynamics(crystal, OracleCalculator(), seed=1)
+        result = md.run(2)
+        assert len(result.records) == 2
+        assert result.mean_step_seconds > 0
+        assert all(r.temperature >= 0 for r in result.records)
+
+
+class TestModelCalculator:
+    def test_fast_model_runs_md(self, small_config, crystal):
+        model = CHGNetModel(
+            small_config.with_level(OptLevel.DECOMPOSE_FS), np.random.default_rng(3)
+        )
+        calc = ModelCalculator(model)
+        result = calc.calculate(crystal)
+        assert result.forces.shape == (crystal.num_atoms, 3)
+        assert result.stress.shape == (3, 3)
+        assert np.isfinite(result.energy)
+
+    def test_reference_model_runs_md(self, small_config, crystal):
+        model = CHGNetModel(
+            small_config.with_level(OptLevel.BASELINE), np.random.default_rng(3)
+        )
+        result = ModelCalculator(model).calculate(crystal)
+        assert np.all(np.isfinite(result.forces))
+
+    def test_fast_calculator_faster_than_reference(self, small_config, crystal):
+        """Table II's effect: head-based inference beats derivative-based."""
+        import time
+
+        fast = ModelCalculator(
+            CHGNetModel(small_config.with_level(OptLevel.DECOMPOSE_FS), np.random.default_rng(3))
+        )
+        ref = ModelCalculator(
+            CHGNetModel(small_config.with_level(OptLevel.BASELINE), np.random.default_rng(3))
+        )
+        for calc in (fast, ref):
+            calc.calculate(crystal)  # warm
+        t0 = time.perf_counter()
+        for _ in range(3):
+            fast.calculate(crystal)
+        t_fast = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        for _ in range(3):
+            ref.calculate(crystal)
+        t_ref = time.perf_counter() - t0
+        assert t_fast < t_ref
+
+    def test_time_steps_api(self, crystal):
+        md = MolecularDynamics(crystal, OracleCalculator(), seed=1)
+        per_step = md.time_steps(2, warmup=1)
+        assert per_step > 0

@@ -1,0 +1,238 @@
+"""CHGNet / FastCHGNet model invariants and the optimization ladder."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.graph import build_graph, collate
+from repro.model import CHGNet, CHGNetConfig, CHGNetModel, FastCHGNet, OptLevel
+from repro.runtime import device_profile, kernel_stats
+from repro.structures import Crystal, Lattice, rocksalt
+from repro.tensor import no_grad
+
+
+@pytest.fixture(scope="module")
+def crystal():
+    return rocksalt(3, 8)
+
+
+@pytest.fixture(scope="module")
+def batch(crystal):
+    return collate([build_graph(crystal)])
+
+
+def make_model(small_config, level, seed=5):
+    model = CHGNetModel(small_config.with_level(level), np.random.default_rng(seed))
+    # readout layers are zero-initialized; randomize them so invariance
+    # tests exercise non-trivial predictions
+    rng = np.random.default_rng(seed + 1000)
+    for name, p in model.named_parameters():
+        if np.all(p.data == 0.0) and "bias" not in name:
+            p.data = rng.normal(scale=0.1, size=p.shape)
+    return model
+
+
+class TestShapes:
+    @pytest.mark.parametrize("level", list(OptLevel))
+    def test_output_shapes(self, small_config, batch, level):
+        model = make_model(small_config, level)
+        out = model.forward(batch)
+        assert out.energy_per_atom.shape == (1,)
+        assert out.forces.shape == (batch.num_atoms, 3)
+        assert out.stress.shape == (1, 3, 3)
+        assert out.magmom.shape == (batch.num_atoms,)
+
+    def test_multi_sample_batch(self, small_config, tiny_batch):
+        model = make_model(small_config, OptLevel.DECOMPOSE_FS)
+        out = model.forward(tiny_batch)
+        assert out.energy_per_atom.shape == (tiny_batch.num_structs,)
+        assert out.stress.shape == (tiny_batch.num_structs, 3, 3)
+
+
+class TestLevelEquivalence:
+    def test_serial_equals_parallel(self, small_config, batch):
+        m0 = make_model(small_config, OptLevel.BASELINE)
+        m1 = make_model(small_config, OptLevel.PARALLEL_BASIS, seed=99)
+        m1.load_state_dict(m0.state_dict())
+        o0, o1 = m0.forward(batch), m1.forward(batch)
+        assert np.allclose(o0.energy_per_atom.data, o1.energy_per_atom.data, atol=1e-10)
+        assert np.allclose(o0.forces.data, o1.forces.data, atol=1e-8)
+        assert np.allclose(o0.stress.data, o1.stress.data, atol=1e-10)
+        assert np.allclose(o0.magmom.data, o1.magmom.data, atol=1e-10)
+
+    def test_state_dict_shared_across_system_levels(self, small_config):
+        """Levels 0-2 share an identical parameter layout (runtime packing)."""
+        keys = None
+        for level in (OptLevel.BASELINE, OptLevel.PARALLEL_BASIS, OptLevel.FUSED):
+            model = make_model(small_config, level)
+            k = set(model.state_dict())
+            if keys is None:
+                keys = k
+            assert k == keys
+
+    def test_heads_add_parameters(self, small_config):
+        base = make_model(small_config, OptLevel.FUSED)
+        heads = make_model(small_config, OptLevel.DECOMPOSE_FS)
+        assert heads.num_parameters() > base.num_parameters()
+
+    def test_fullsize_param_count_near_paper(self):
+        """Full-dimension model lands in the paper's ~0.41-0.43 M range."""
+        model = CHGNetModel(CHGNetConfig(), np.random.default_rng(0))
+        n = model.num_parameters()
+        assert 250_000 < n < 600_000
+
+
+class TestKernelAndMemoryLadder:
+    def test_kernels_decrease_along_ladder(self, small_config, batch):
+        counts = {}
+        for level in OptLevel:
+            model = make_model(small_config, level)
+            with kernel_stats() as ks:
+                out = model.forward(batch)
+            counts[level] = ks.count
+            del out, model
+        assert counts[OptLevel.PARALLEL_BASIS] < counts[OptLevel.BASELINE]
+        assert counts[OptLevel.FUSED] < counts[OptLevel.PARALLEL_BASIS]
+        assert counts[OptLevel.DECOMPOSE_FS] < counts[OptLevel.FUSED]
+
+    def test_heads_skip_derivative_tape_in_training(self, small_config, batch):
+        """Training-mode tape memory: derivative path >> heads path."""
+        from repro.train import CompositeLoss
+        from repro.tensor import backward
+
+        peaks = {}
+        for level in (OptLevel.FUSED, OptLevel.DECOMPOSE_FS):
+            model = make_model(small_config, level)
+            loss_fn = CompositeLoss()
+            with device_profile() as prof:
+                out = model.forward(batch_with_labels(batch), training=True)
+                b = loss_fn(out, batch_with_labels(batch))
+                backward(b.loss)
+            peaks[level] = prof.memory.peak_bytes
+            del out, model
+        assert peaks[OptLevel.DECOMPOSE_FS] < 0.6 * peaks[OptLevel.FUSED]
+
+
+def batch_with_labels(batch):
+    if batch.energy_per_atom is None:
+        batch.energy_per_atom = np.zeros(batch.num_structs)
+        batch.forces = np.zeros((batch.num_atoms, 3))
+        batch.stress = np.zeros((batch.num_structs, 3, 3))
+        batch.magmom = np.zeros(batch.num_atoms)
+    return batch
+
+
+class TestPhysicalInvariances:
+    def test_rotation(self, small_config, crystal):
+        """Energy/magmom invariant, forces equivariant under rotation."""
+        model = make_model(small_config, OptLevel.DECOMPOSE_FS, seed=7)
+        theta = 0.7
+        rot = np.array(
+            [
+                [np.cos(theta), -np.sin(theta), 0.0],
+                [np.sin(theta), np.cos(theta), 0.0],
+                [0.0, 0.0, 1.0],
+            ]
+        )
+        out_a = model.forward(collate([build_graph(crystal)]))
+        rotated = Crystal(
+            Lattice(crystal.lattice.matrix @ rot.T), crystal.species, crystal.frac_coords
+        )
+        out_b = model.forward(collate([build_graph(rotated)]))
+        assert np.allclose(out_a.energy_per_atom.data, out_b.energy_per_atom.data, atol=1e-8)
+        assert np.allclose(out_a.forces.data @ rot.T, out_b.forces.data, atol=1e-7)
+        assert np.allclose(out_a.magmom.data, out_b.magmom.data, atol=1e-8)
+
+    def test_rotation_reference_forces(self, small_config, crystal):
+        """Derivative-based forces are equivariant by construction too."""
+        model = make_model(small_config, OptLevel.PARALLEL_BASIS, seed=7)
+        theta = -0.4
+        rot = np.array(
+            [
+                [1.0, 0.0, 0.0],
+                [0.0, np.cos(theta), -np.sin(theta)],
+                [0.0, np.sin(theta), np.cos(theta)],
+            ]
+        )
+        out_a = model.forward(collate([build_graph(crystal)]))
+        rotated = Crystal(
+            Lattice(crystal.lattice.matrix @ rot.T), crystal.species, crystal.frac_coords
+        )
+        out_b = model.forward(collate([build_graph(rotated)]))
+        assert np.allclose(out_a.forces.data @ rot.T, out_b.forces.data, atol=1e-7)
+
+    def test_translation_invariance(self, small_config, crystal, rng):
+        model = make_model(small_config, OptLevel.DECOMPOSE_FS, seed=7)
+        out_a = model.forward(collate([build_graph(crystal)]))
+        shifted = Crystal(
+            crystal.lattice, crystal.species, (crystal.frac_coords + rng.uniform(size=3)) % 1.0
+        )
+        out_b = model.forward(collate([build_graph(shifted)]))
+        assert np.allclose(out_a.energy_per_atom.data, out_b.energy_per_atom.data, atol=1e-8)
+
+    def test_supercell_energy_per_atom_invariant(self, small_config, crystal):
+        """An exact n-fold replica has identical energy per atom."""
+        model = make_model(small_config, OptLevel.DECOMPOSE_FS, seed=7)
+        e1 = model.forward(collate([build_graph(crystal)])).energy_per_atom.data[0]
+        e2 = model.forward(
+            collate([build_graph(crystal.supercell((2, 1, 1)))])
+        ).energy_per_atom.data[0]
+        assert np.isclose(e1, e2, atol=1e-8)
+
+    def test_reference_forces_match_finite_difference(self, small_config, crystal):
+        model = make_model(small_config, OptLevel.BASELINE, seed=11)
+        out = model.forward(collate([build_graph(crystal)]))
+        force = out.forces.data
+        eps = 1e-5
+
+        def energy_of(c):
+            o = model.forward(collate([build_graph(c)]))
+            return float(o.energy_per_atom.data[0]) * c.num_atoms
+
+        for atom, k in [(0, 0), (5, 2)]:
+            plus = crystal.cart_coords.copy()
+            plus[atom, k] += eps
+            minus = crystal.cart_coords.copy()
+            minus[atom, k] -= eps
+            num = -(
+                energy_of(Crystal(crystal.lattice, crystal.species, crystal.lattice.cart_to_frac(plus)))
+                - energy_of(
+                    Crystal(crystal.lattice, crystal.species, crystal.lattice.cart_to_frac(minus))
+                )
+            ) / (2 * eps)
+            assert np.isclose(force[atom, k], num, rtol=1e-4, atol=1e-8)
+
+    def test_head_forces_differ_from_derivative_forces(self, small_config, crystal):
+        """The decomposition is a *different estimator*: untrained heads do
+        not coincide with energy derivatives (away from equilibrium)."""
+        perturbed = collate([build_graph(crystal.perturbed(np.random.default_rng(1), 0.15))])
+        ref = make_model(small_config, OptLevel.FUSED, seed=3)
+        fast = make_model(small_config, OptLevel.DECOMPOSE_FS, seed=3)
+        o_ref = ref.forward(perturbed)
+        o_fast = fast.forward(perturbed)
+        assert not np.allclose(o_ref.forces.data, o_fast.forces.data, atol=1e-6)
+
+
+class TestConstructors:
+    def test_chgnet_is_baseline(self, rng):
+        model = CHGNet(rng, CHGNetConfig(atom_fea_dim=16, num_radial=5, angular_order=2))
+        assert model.config.opt_level == OptLevel.BASELINE
+        assert not model.config.use_heads
+
+    def test_fastchgnet_default_has_heads(self, rng):
+        model = FastCHGNet(rng, CHGNetConfig(atom_fea_dim=16, num_radial=5, angular_order=2))
+        assert model.config.opt_level == OptLevel.DECOMPOSE_FS
+
+    def test_fastchgnet_without_head(self, rng):
+        model = FastCHGNet(
+            rng, CHGNetConfig(atom_fea_dim=16, num_radial=5, angular_order=2), use_heads=False
+        )
+        assert model.config.opt_level == OptLevel.FUSED
+        assert not model.config.use_heads
+
+    def test_heads_inference_runs_under_no_grad(self, small_config, batch):
+        model = make_model(small_config, OptLevel.DECOMPOSE_FS)
+        with no_grad():
+            out = model.forward(batch)
+        assert out.forces.node is None

@@ -1,0 +1,122 @@
+"""Periodic neighbor lists: exactness against brute force, invariants."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.structures import (
+    Crystal,
+    Lattice,
+    cscl,
+    neighbor_list,
+    neighbor_list_bruteforce,
+    rocksalt,
+)
+
+
+class TestBasics:
+    def test_nonpositive_cutoff_raises(self):
+        with pytest.raises(ValueError):
+            neighbor_list(cscl(11, 17), 0.0)
+
+    def test_vectors_match_distances(self):
+        nl = neighbor_list(rocksalt(3, 8), 5.0)
+        assert np.allclose(np.linalg.norm(nl.vec, axis=1), nl.dist)
+
+    def test_within_cutoff(self):
+        nl = neighbor_list(rocksalt(3, 8), 5.0)
+        assert np.all(nl.dist <= 5.0)
+        assert np.all(nl.dist > 0)
+
+    def test_directed_symmetry(self):
+        """Every (i -> j, img) pair has the reverse (j -> i, -img) pair."""
+        nl = neighbor_list(rocksalt(3, 8), 4.0)
+        fwd = {(int(s), int(d), *map(int, im)) for s, d, im in zip(nl.src, nl.dst, nl.image)}
+        for s, d, im in zip(nl.src, nl.dst, nl.image):
+            assert (int(d), int(s), *map(int, -im)) in fwd
+
+    def test_no_self_pair_in_home_cell(self):
+        nl = neighbor_list(cscl(11, 17), 6.0)
+        home = np.all(nl.image == 0, axis=1)
+        assert not np.any((nl.src == nl.dst) & home)
+
+    def test_self_interaction_across_images_allowed(self):
+        """With a cutoff larger than the cell, an atom sees its own images."""
+        nl = neighbor_list(cscl(11, 17), 8.0)
+        assert np.any(nl.src == nl.dst)
+
+    def test_deterministic_order(self):
+        a = neighbor_list(rocksalt(3, 8), 5.0)
+        b = neighbor_list(rocksalt(3, 8), 5.0)
+        assert np.array_equal(a.src, b.src)
+        assert np.array_equal(a.image, b.image)
+
+    def test_larger_cutoff_superset(self):
+        small = neighbor_list(rocksalt(3, 8), 3.0)
+        large = neighbor_list(rocksalt(3, 8), 5.0)
+        assert large.num_pairs > small.num_pairs
+        large_set = {
+            (int(s), int(d), *map(int, im))
+            for s, d, im in zip(large.src, large.dst, large.image)
+        }
+        for s, d, im in zip(small.src, small.dst, small.image):
+            assert (int(s), int(d), *map(int, im)) in large_set
+
+
+class TestAgainstBruteForce:
+    @pytest.mark.parametrize("cutoff", [2.5, 4.0, 6.0])
+    def test_rocksalt(self, cutoff):
+        c = rocksalt(3, 8)
+        fast = neighbor_list(c, cutoff)
+        slow = neighbor_list_bruteforce(c, cutoff)
+        assert fast.num_pairs == slow.num_pairs
+        assert np.array_equal(fast.src, slow.src)
+        assert np.array_equal(fast.dst, slow.dst)
+        assert np.array_equal(fast.image, slow.image)
+        assert np.allclose(fast.dist, slow.dist)
+
+    def test_triclinic_cell(self, rng):
+        lat = Lattice(np.array([[4.0, 0.0, 0.0], [1.3, 3.8, 0.0], [0.7, 0.9, 4.2]]))
+        c = Crystal(lat, np.array([3, 8, 8]), rng.uniform(size=(3, 3)))
+        fast = neighbor_list(c, 4.5)
+        slow = neighbor_list_bruteforce(c, 4.5)
+        assert fast.num_pairs == slow.num_pairs
+        assert np.allclose(fast.dist, slow.dist)
+
+
+@settings(max_examples=10, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=2**16),
+    n_atoms=st.integers(min_value=1, max_value=5),
+    cutoff=st.floats(min_value=2.0, max_value=5.0),
+)
+def test_property_matches_bruteforce(seed, n_atoms, cutoff):
+    """Random skewed cells and positions: fast path == brute force."""
+    rng = np.random.default_rng(seed)
+    base = np.diag(rng.uniform(3.0, 6.0, size=3))
+    base[1, 0] = rng.uniform(-1.0, 1.0)
+    base[2, 0] = rng.uniform(-1.0, 1.0)
+    base[2, 1] = rng.uniform(-1.0, 1.0)
+    c = Crystal(
+        Lattice(base),
+        rng.integers(1, 90, size=n_atoms),
+        rng.uniform(size=(n_atoms, 3)),
+    )
+    fast = neighbor_list(c, cutoff)
+    slow = neighbor_list_bruteforce(c, cutoff)
+    assert fast.num_pairs == slow.num_pairs
+    assert np.array_equal(fast.src, slow.src)
+    assert np.allclose(fast.dist, slow.dist)
+
+
+def test_translation_invariance(rng):
+    """Rigid translation does not change the pair-distance multiset."""
+    c = rocksalt(3, 8)
+    shifted = Crystal(c.lattice, c.species, (c.frac_coords + rng.uniform(size=3)) % 1.0)
+    a = neighbor_list(c, 5.0)
+    b = neighbor_list(shifted, 5.0)
+    assert a.num_pairs == b.num_pairs
+    assert np.allclose(np.sort(a.dist), np.sort(b.dist), atol=1e-9)

@@ -1,0 +1,178 @@
+"""Simulated device runtime: kernel stats, memory tracking, streams."""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.runtime import (
+    CopyStream,
+    PrefetchQueue,
+    device_profile,
+    kernel_stats,
+    memory_stats,
+    record_kernel,
+    record_tape_alloc,
+    record_tape_free,
+)
+from repro.runtime.kernels import KernelStats, profiling_active
+
+
+class TestKernelStats:
+    def test_records_counts_and_names(self):
+        with kernel_stats() as ks:
+            record_kernel("matmul", 100)
+            record_kernel("matmul", 100)
+            record_kernel("add", 50)
+        assert ks.count == 3
+        assert ks.by_name == {"matmul": 2, "add": 1}
+        assert ks.bytes_out == 250
+
+    def test_no_scope_is_noop(self):
+        record_kernel("free_floating", 10)  # must not raise
+
+    def test_nested_scopes_both_record(self):
+        with kernel_stats() as outer:
+            record_kernel("a", 1)
+            with kernel_stats() as inner:
+                record_kernel("b", 1)
+        assert outer.count == 2
+        assert inner.count == 1
+
+    def test_top(self):
+        ks = KernelStats()
+        for _ in range(5):
+            ks.record("x", 1)
+        ks.record("y", 1)
+        assert ks.top(1) == [("x", 5)]
+
+    def test_top_time(self):
+        ks = KernelStats()
+        ks.record("slow", 1, seconds=0.5)
+        ks.record("fast", 1, seconds=0.1)
+        assert ks.top_time(1)[0][0] == "slow"
+
+    def test_merge(self):
+        a, b = KernelStats(), KernelStats()
+        a.record("x", 10)
+        b.record("x", 5)
+        b.record("y", 1)
+        a.merge(b)
+        assert a.count == 3
+        assert a.by_name == {"x": 2, "y": 1}
+
+    def test_profiling_active_flag(self):
+        assert not profiling_active()
+        with kernel_stats():
+            assert profiling_active()
+        assert not profiling_active()
+
+    def test_thread_isolation(self):
+        seen = []
+
+        def worker():
+            with kernel_stats() as ks:
+                record_kernel("w", 1)
+                seen.append(ks.count)
+
+        with kernel_stats() as main:
+            t = threading.Thread(target=worker)
+            t.start()
+            t.join()
+        assert seen == [1]
+        assert main.count == 0  # worker kernels don't leak into main scope
+
+
+class TestMemoryStats:
+    def test_alloc_free_peak(self):
+        with memory_stats() as ms:
+            record_tape_alloc(100)
+            record_tape_alloc(200)
+            record_tape_free(100)
+            record_tape_alloc(50)
+        assert ms.peak_bytes == 300
+        assert ms.current_bytes == 250
+        assert ms.total_allocated == 350
+
+    def test_peak_mib(self):
+        with memory_stats() as ms:
+            record_tape_alloc(2 * 1024 * 1024)
+        assert ms.peak_mib == pytest.approx(2.0)
+
+    def test_no_scope_noop(self):
+        record_tape_alloc(1)
+        record_tape_free(1)
+
+
+class TestDeviceProfile:
+    def test_summary_string(self):
+        with device_profile() as prof:
+            record_kernel("k", 8)
+            record_tape_alloc(8)
+        assert "kernels=1" in prof.summary()
+        assert prof.wall_time > 0
+
+
+class TestCopyStream:
+    def test_jobs_run_in_order(self):
+        stream = CopyStream()
+        out = []
+        stream.submit(lambda: out.append(1))
+        stream.submit(lambda: out.append(2))
+        stream.synchronize()
+        assert out == [1, 2]
+        stream.close()
+
+    def test_error_surfaced_on_synchronize(self):
+        stream = CopyStream()
+        stream.submit(lambda: 1 / 0)
+        with pytest.raises(RuntimeError):
+            stream.synchronize()
+        stream.close()
+
+    def test_close_idempotent(self):
+        stream = CopyStream()
+        stream.close()
+        stream.close()
+
+
+class TestPrefetchQueue:
+    def test_yields_all_items_in_order(self):
+        assert list(PrefetchQueue(range(10))) == list(range(10))
+
+    def test_depth_validation(self):
+        with pytest.raises(ValueError):
+            PrefetchQueue([1], depth=0)
+
+    def test_overlaps_production_with_consumption(self):
+        """With prefetch, producer works while the consumer computes."""
+        produce_time = 0.02
+        consume_time = 0.02
+        n = 5
+
+        def slow_source():
+            for i in range(n):
+                time.sleep(produce_time)
+                yield i
+
+        t0 = time.perf_counter()
+        for _ in PrefetchQueue(slow_source(), depth=1):
+            time.sleep(consume_time)
+        overlapped = time.perf_counter() - t0
+
+        t0 = time.perf_counter()
+        for _ in slow_source():
+            time.sleep(consume_time)
+        serial = time.perf_counter() - t0
+        assert overlapped < serial * 0.9
+
+    def test_producer_error_propagates(self):
+        def bad():
+            yield 1
+            raise RuntimeError("boom")
+
+        with pytest.raises(RuntimeError):
+            list(PrefetchQueue(bad()))

@@ -1,0 +1,170 @@
+"""Samplers and loaders: partition properties, the Fig. 9 CoV claim."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data import (
+    DataLoader,
+    DefaultSampler,
+    LoadBalanceSampler,
+    ShardedLoader,
+    StructureDataset,
+    coefficient_of_variation,
+    imbalance_study,
+)
+
+
+def longtail_features(n: int, seed: int = 0) -> np.ndarray:
+    rng = np.random.default_rng(seed)
+    return np.exp(rng.normal(np.log(500), 0.9, size=n)).astype(np.int64) + 10
+
+
+class TestSamplerContracts:
+    def test_batch_not_divisible_raises(self):
+        with pytest.raises(ValueError):
+            DefaultSampler(longtail_features(100), global_batch_size=10, world_size=3)
+
+    def test_batch_smaller_than_world_raises(self):
+        with pytest.raises(ValueError):
+            DefaultSampler(longtail_features(100), global_batch_size=2, world_size=4)
+
+    def test_global_batches_cover_dataset_once(self):
+        sampler = DefaultSampler(longtail_features(64), 16, 4, seed=1)
+        seen = np.concatenate(list(sampler.global_batches(0)))
+        assert len(seen) == 64
+        assert len(set(seen.tolist())) == 64
+
+    def test_drop_last(self):
+        sampler = DefaultSampler(longtail_features(70), 16, 4, seed=1)
+        batches = list(sampler.global_batches(0))
+        assert all(len(b) == 16 for b in batches)
+        assert len(batches) == 4
+
+    def test_epochs_shuffle_differently(self):
+        sampler = DefaultSampler(longtail_features(64), 16, 4, seed=1)
+        a = np.concatenate(list(sampler.global_batches(0)))
+        b = np.concatenate(list(sampler.global_batches(1)))
+        assert not np.array_equal(a, b)
+
+    def test_same_epoch_deterministic(self):
+        sampler = DefaultSampler(longtail_features(64), 16, 4, seed=1)
+        a = np.concatenate(list(sampler.global_batches(2)))
+        b = np.concatenate(list(sampler.global_batches(2)))
+        assert np.array_equal(a, b)
+
+
+class TestPartitions:
+    @pytest.mark.parametrize("cls", [DefaultSampler, LoadBalanceSampler])
+    def test_partition_exact_cover(self, cls):
+        features = longtail_features(64)
+        sampler = cls(features, 32, 4, seed=0)
+        batch = next(sampler.global_batches(0))
+        shards = sampler.partition(batch)
+        assert len(shards) == 4
+        combined = np.concatenate(shards)
+        assert sorted(combined.tolist()) == sorted(batch.tolist())
+
+    def test_load_balance_equal_counts(self):
+        sampler = LoadBalanceSampler(longtail_features(64), 32, 4, seed=0)
+        shards = sampler.partition(next(sampler.global_batches(0)))
+        assert all(len(s) == 8 for s in shards)
+
+    def test_load_balance_reduces_cov(self):
+        """The paper's Fig. 9: CoV drops substantially (0.186 -> 0.064)."""
+        features = longtail_features(512, seed=7)
+        default = DefaultSampler(features, 128, 4, seed=0)
+        balanced = LoadBalanceSampler(features, 128, 4, seed=0)
+        cov_d = imbalance_study(default)["cov"].mean()
+        cov_b = imbalance_study(balanced)["cov"].mean()
+        assert cov_b < 0.5 * cov_d
+
+    def test_rank_loads(self):
+        features = np.array([10, 20, 30, 40])
+        sampler = LoadBalanceSampler(features, 4, 2, seed=0)
+        shards = sampler.partition(np.array([0, 1, 2, 3]))
+        loads = sampler.rank_loads(shards)
+        # greedy pairing: rank0 gets (10, 40), rank1 gets (20, 30)
+        assert sorted(loads.tolist()) == [50.0, 50.0]
+
+    def test_cov_of_constant_is_zero(self):
+        assert coefficient_of_variation(np.array([5.0, 5.0, 5.0])) == 0.0
+
+    def test_cov_of_zero_mean(self):
+        assert coefficient_of_variation(np.zeros(3)) == 0.0
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    n=st.integers(min_value=16, max_value=128),
+    world=st.sampled_from([2, 4, 8]),
+    seed=st.integers(min_value=0, max_value=2**16),
+)
+def test_property_load_balance_partition(n, world, seed):
+    """Hard invariants: every sample assigned exactly once, equal counts.
+
+    (The CoV *reduction* is a statistical property of batches on average —
+    a single lucky random split can beat the greedy pairing — and is
+    asserted over many batches in ``test_load_balance_reduces_cov``.)
+    """
+    n -= n % (2 * world)  # even per-rank counts
+    if n < 2 * world:
+        n = 2 * world
+    features = longtail_features(n, seed=seed)
+    lb = LoadBalanceSampler(features, n, world, seed=seed)
+    batch = next(lb.global_batches(0))
+    shards = lb.partition(batch)
+    combined = sorted(np.concatenate(shards).tolist())
+    assert combined == sorted(batch.tolist())
+    assert len({len(s) for s in shards}) == 1
+    # the greedy pairing never produces a catastrophic imbalance
+    assert coefficient_of_variation(lb.rank_loads(shards)) < 1.0
+
+
+class TestDataLoader:
+    def test_yields_batches(self, tiny_entries):
+        ds = StructureDataset(tiny_entries)
+        loader = DataLoader(ds, batch_size=6)
+        batches = list(loader)
+        assert len(batches) == len(ds) // 6
+        assert all(b.num_structs == 6 for b in batches)
+
+    def test_len(self, tiny_entries):
+        ds = StructureDataset(tiny_entries)
+        assert len(DataLoader(ds, batch_size=6)) == 4
+        assert len(DataLoader(ds, batch_size=5, drop_last=False)) == 5
+
+    def test_bad_batch_size_raises(self, tiny_entries):
+        with pytest.raises(ValueError):
+            DataLoader(StructureDataset(tiny_entries), batch_size=0)
+
+    def test_prefetch_yields_same_batches(self, tiny_entries):
+        ds = StructureDataset(tiny_entries)
+        plain = [b.feature_number for b in DataLoader(ds, 6, seed=3)]
+        fetched = [b.feature_number for b in DataLoader(ds, 6, seed=3, prefetch=True)]
+        assert plain == fetched
+
+    def test_epoch_advances_order(self, tiny_entries):
+        ds = StructureDataset(tiny_entries)
+        loader = DataLoader(ds, batch_size=6, seed=3)
+        first = [b.feature_number for b in loader]
+        second = [b.feature_number for b in loader]
+        assert first != second
+
+    def test_no_shuffle_is_sequential(self, tiny_entries):
+        ds = StructureDataset(tiny_entries)
+        loader = DataLoader(ds, batch_size=4, shuffle=False)
+        batch = next(iter(loader))
+        assert batch.feature_number == int(ds.feature_numbers[:4].sum())
+
+
+class TestShardedLoader:
+    def test_yields_per_rank_batches(self, tiny_entries):
+        ds = StructureDataset(tiny_entries)
+        loader = ShardedLoader.with_default_sampler(ds, global_batch_size=8, world_size=2)
+        step = next(iter(loader))
+        assert len(step) == 2
+        assert sum(b.num_structs for b in step) == 8

@@ -1,0 +1,237 @@
+"""Loss, optimizers, schedules, metrics."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.tensor import Parameter, Tensor, huber_loss, mul, sum as tsum
+from repro.train import (
+    Adam,
+    BASE_LR,
+    CompositeLoss,
+    ConstantLR,
+    CosineAnnealingLR,
+    LossWeights,
+    SGD,
+    mae,
+    r_squared,
+    scaled_learning_rate,
+)
+
+
+class TestHuber:
+    def test_quadratic_inside_delta(self):
+        pred = Tensor(np.array([0.05]))
+        target = Tensor(np.array([0.0]))
+        assert np.isclose(huber_loss(pred, target, delta=0.1).item(), 0.5 * 0.05**2)
+
+    def test_linear_outside_delta(self):
+        pred = Tensor(np.array([1.0]))
+        target = Tensor(np.array([0.0]))
+        assert np.isclose(huber_loss(pred, target, delta=0.1).item(), 0.1 * (1.0 - 0.05))
+
+    def test_zero_at_match(self, rng):
+        x = rng.normal(size=(5,))
+        assert huber_loss(Tensor(x), Tensor(x.copy())).item() == 0.0
+
+    def test_differentiable(self, rng):
+        from repro.tensor.gradcheck import check_grad
+
+        target = Tensor(rng.normal(size=(6,)))
+        pred0 = rng.normal(size=(6,))
+        # keep |d| away from the delta kink for clean finite differences
+        pred0 = np.where(np.abs(pred0 - target.data) < 0.15, target.data + 0.3, pred0)
+        check_grad(lambda p: huber_loss(p, target, delta=0.1), [Tensor(pred0)])
+
+
+class TestCompositeLoss:
+    def _fake(self, rng, n_structs=2, n_atoms=6):
+        from repro.graph.batching import GraphBatch
+        from repro.model.chgnet import ModelOutput
+
+        output = ModelOutput(
+            energy_per_atom=Tensor(rng.normal(size=n_structs), requires_grad=True),
+            forces=Tensor(rng.normal(size=(n_atoms, 3))),
+            stress=Tensor(rng.normal(size=(n_structs, 3, 3))),
+            magmom=Tensor(rng.normal(size=n_atoms)),
+        )
+        batch = GraphBatch(
+            num_structs=n_structs,
+            species=np.ones(n_atoms, dtype=np.int64),
+            frac=np.zeros((n_atoms, 3)),
+            atom_sample=np.repeat(np.arange(n_structs), n_atoms // n_structs),
+            lattices=np.stack([np.eye(3)] * n_structs),
+            edge_src=np.zeros(0, dtype=np.int64),
+            edge_dst=np.zeros(0, dtype=np.int64),
+            edge_image=np.zeros((0, 3), dtype=np.int64),
+            edge_sample=np.zeros(0, dtype=np.int64),
+            short_idx=np.zeros(0, dtype=np.int64),
+            angle_e1=np.zeros(0, dtype=np.int64),
+            angle_e2=np.zeros(0, dtype=np.int64),
+            angle_center=np.zeros(0, dtype=np.int64),
+            angle_sample=np.zeros(0, dtype=np.int64),
+            atom_offsets=np.array([0, 3, 6]),
+            edge_offsets=np.zeros(n_structs + 1, dtype=np.int64),
+            short_offsets=np.zeros(n_structs + 1, dtype=np.int64),
+            angle_offsets=np.zeros(n_structs + 1, dtype=np.int64),
+            energy_per_atom=rng.normal(size=n_structs),
+            forces=rng.normal(size=(n_atoms, 3)),
+            stress=rng.normal(size=(n_structs, 3, 3)),
+            magmom=rng.normal(size=n_atoms),
+        )
+        return output, batch
+
+    def test_breakdown_fields(self, rng):
+        output, batch = self._fake(rng)
+        b = CompositeLoss()(output, batch)
+        assert b.loss.size == 1
+        d = b.as_dict()
+        assert set(d) == {"loss", "energy_mae", "force_mae", "stress_mae", "magmom_mae"}
+        assert all(np.isfinite(v) for v in d.values())
+
+    def test_weights_scale_loss(self, rng):
+        output, batch = self._fake(rng)
+        small = CompositeLoss(LossWeights(energy=0.0, force=0.0, stress=0.0, magmom=0.0))
+        assert small(output, batch).loss.item() == 0.0
+
+    def test_unlabeled_batch_raises(self, rng):
+        output, batch = self._fake(rng)
+        batch.energy_per_atom = None
+        with pytest.raises(ValueError):
+            CompositeLoss()(output, batch)
+
+    def test_paper_prefactors_default(self):
+        w = LossWeights()
+        assert (w.energy, w.force, w.stress, w.magmom) == (2.0, 1.5, 0.1, 0.1)
+
+
+class TestAdam:
+    def test_minimizes_quadratic(self):
+        p = Parameter(np.array([5.0, -3.0]))
+        opt = Adam([p], lr=0.1)
+        target = np.array([1.0, 2.0])
+        for _ in range(300):
+            opt.zero_grad()
+            loss = tsum(mul(p - Tensor(target), p - Tensor(target)))
+            loss.backward()
+            opt.step()
+        assert np.allclose(p.data, target, atol=1e-2)
+
+    def test_skips_none_grads(self):
+        p = Parameter(np.ones(2))
+        opt = Adam([p], lr=0.1)
+        opt.step()  # no grads -> no movement
+        assert np.array_equal(p.data, np.ones(2))
+
+    def test_first_step_magnitude_is_lr(self):
+        """Adam's bias-corrected first step is exactly lr * sign(grad)."""
+        p = Parameter(np.array([1.0]))
+        opt = Adam([p], lr=0.01)
+        p.grad = Tensor(np.array([2.0]))
+        opt.step()
+        assert np.isclose(p.data[0], 1.0 - 0.01, atol=1e-6)
+
+    def test_empty_params_raises(self):
+        with pytest.raises(ValueError):
+            Adam([], lr=0.1)
+
+    def test_bad_lr_raises(self):
+        with pytest.raises(ValueError):
+            Adam([Parameter(np.ones(1))], lr=0.0)
+
+    def test_weight_decay_pulls_to_zero(self):
+        p = Parameter(np.array([1.0]))
+        opt = Adam([p], lr=0.05, weight_decay=1.0)
+        for _ in range(200):
+            p.grad = Tensor(np.zeros(1))
+            opt.step()
+        assert abs(p.data[0]) < 0.1
+
+    def test_set_gradients_shape_check(self):
+        opt = Adam([Parameter(np.ones(3))], lr=0.1)
+        with pytest.raises(ValueError):
+            opt.set_gradients([np.ones(4)])
+
+    def test_set_gradients_count_check(self):
+        opt = Adam([Parameter(np.ones(3))], lr=0.1)
+        with pytest.raises(ValueError):
+            opt.set_gradients([np.ones(3), np.ones(3)])
+
+
+class TestSGD:
+    def test_plain_step(self):
+        p = Parameter(np.array([1.0]))
+        opt = SGD([p], lr=0.5)
+        p.grad = Tensor(np.array([2.0]))
+        opt.step()
+        assert np.isclose(p.data[0], 0.0)
+
+    def test_momentum_accumulates(self):
+        p = Parameter(np.array([0.0]))
+        opt = SGD([p], lr=1.0, momentum=0.9)
+        for _ in range(2):
+            p.grad = Tensor(np.array([1.0]))
+            opt.step()
+        # steps: 1, then 1 + 0.9
+        assert np.isclose(p.data[0], -(1.0 + 1.9))
+
+
+class TestSchedules:
+    def test_lr_scaling_rule(self):
+        assert np.isclose(scaled_learning_rate(128), BASE_LR)
+        assert np.isclose(scaled_learning_rate(2048), 2048 / 128 * BASE_LR)
+        assert np.isclose(scaled_learning_rate(64), 0.5 * BASE_LR)
+
+    def test_lr_scaling_invalid_batch(self):
+        with pytest.raises(ValueError):
+            scaled_learning_rate(0)
+
+    def test_cosine_decays_to_eta_min(self):
+        opt = Adam([Parameter(np.ones(1))], lr=1.0)
+        sched = CosineAnnealingLR(opt, total_steps=10, eta_min=0.1)
+        for _ in range(10):
+            sched.step()
+        assert np.isclose(opt.lr, 0.1)
+
+    def test_cosine_halfway(self):
+        opt = Adam([Parameter(np.ones(1))], lr=1.0)
+        sched = CosineAnnealingLR(opt, total_steps=10, eta_min=0.0)
+        for _ in range(5):
+            sched.step()
+        assert np.isclose(opt.lr, 0.5)
+
+    def test_cosine_monotone_decreasing(self):
+        opt = Adam([Parameter(np.ones(1))], lr=1.0)
+        sched = CosineAnnealingLR(opt, total_steps=20)
+        lrs = [sched.step() for _ in range(20)]
+        assert all(a >= b for a, b in zip(lrs, lrs[1:]))
+
+    def test_cosine_clamps_after_total(self):
+        opt = Adam([Parameter(np.ones(1))], lr=1.0)
+        sched = CosineAnnealingLR(opt, total_steps=5)
+        for _ in range(8):
+            sched.step()
+        assert opt.lr >= 0.0
+
+    def test_constant(self):
+        opt = Adam([Parameter(np.ones(1))], lr=0.3)
+        sched = ConstantLR(opt)
+        sched.step()
+        assert opt.lr == 0.3
+
+
+class TestMetrics:
+    def test_mae(self):
+        assert mae(np.array([1.0, 2.0]), np.array([2.0, 0.0])) == 1.5
+
+    def test_r2_perfect(self, rng):
+        x = rng.normal(size=20)
+        assert r_squared(x, x) == 1.0
+
+    def test_r2_mean_predictor_zero(self, rng):
+        y = rng.normal(size=50)
+        assert abs(r_squared(np.full(50, y.mean()), y)) < 1e-9
+
+    def test_r2_constant_target(self):
+        assert r_squared(np.ones(5), np.ones(5)) == 1.0
