@@ -1,0 +1,241 @@
+"""Graph-pipeline benchmark: neighbor search, MD skin reuse, collate.
+
+Quantifies the three layers of the graph-pipeline overhaul:
+
+1. **Neighbor search scaling** — O(N^2 * images) dense scan vs the O(N)
+   cell list on growing rocksalt supercells.
+2. **MD steps/sec** — the seed's loop (graph rebuilt from scratch *twice*
+   per step: once for forces, once more for the potential-energy record)
+   vs the overhauled loop (single evaluation per step + Verlet skin-list
+   neighbor reuse).
+3. **Collate throughput** — the seed's per-graph-copy + ``np.concatenate``
+   assembly vs the preallocating single-pass collate, plus the memoized
+   mode that reuses assembled batches for repeated index tuples.
+
+Writes ``BENCH_graph_pipeline.json`` (and a markdown table) under
+``benchmarks/out/``.  ``--smoke`` shrinks sizes/repeats so the whole run
+takes seconds; the tier-1 suite executes that mode end-to-end.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_graph_pipeline.py [--smoke]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import time
+
+import numpy as np
+
+from repro.bench.reporting import emit, format_table, output_dir
+from repro.data.mptrj import generate_mptrj
+from repro.graph.batching import collate
+from repro.graph.crystal_graph import build_graph
+from repro.graph.reference import collate_concat as _collate_concat
+from repro.md import ModelCalculator, MolecularDynamics
+from repro.model import CHGNetConfig, CHGNetModel
+from repro.structures import cscl, neighbor_list, rocksalt
+
+
+def _best_of(fn, repeats: int) -> float:
+    """Minimum wall time of ``repeats`` calls after one warmup (the warmup
+    absorbs first-call allocator/page-cache effects that would otherwise
+    skew single-shot timings)."""
+    fn()
+    best = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+# --------------------------------------------------------------- layer 1
+def bench_neighbor_search(smoke: bool) -> list[dict]:
+    reps = [(2, 2, 2), (3, 3, 3), (4, 4, 4), (5, 5, 5)] if smoke else [
+        (2, 2, 2), (3, 3, 3), (4, 4, 4), (5, 5, 5), (6, 6, 6)
+    ]
+    repeats = 1 if smoke else 3
+    rows = []
+    for rep in reps:
+        crystal = rocksalt(3, 8).supercell(rep)
+        t_dense = _best_of(lambda: neighbor_list(crystal, 6.0, algorithm="dense"), repeats)
+        t_cell = _best_of(lambda: neighbor_list(crystal, 6.0, algorithm="cell"), repeats)
+        pairs = neighbor_list(crystal, 6.0, algorithm="cell").num_pairs
+        rows.append(
+            {
+                "atoms": crystal.num_atoms,
+                "cutoff": 6.0,
+                "pairs": pairs,
+                "dense_s": t_dense,
+                "cell_s": t_cell,
+                "speedup": t_dense / t_cell,
+            }
+        )
+    return rows
+
+
+# --------------------------------------------------------------- layer 2
+def _seed_md_loop(md: MolecularDynamics, calc: ModelCalculator, n_steps: int) -> None:
+    """The seed's per-step cost: integrator step + a second full evaluation
+    (graph rebuilt from scratch) just to record the potential energy."""
+    for _ in range(n_steps):
+        md.state = md.integrator.step(md.state, md.calculator)
+        calc.calculate(md.state.crystal)
+
+
+def bench_md(smoke: bool, skin: float = 0.5) -> dict:
+    n_steps = 12 if smoke else 30
+    # Reduced-width model so the measurement exposes the *pipeline* cost the
+    # overhaul targets (a production-width forward pass would mask it).
+    config = CHGNetConfig(
+        atom_fea_dim=8,
+        bond_fea_dim=8,
+        angle_fea_dim=8,
+        num_radial=4,
+        angular_order=2,
+        hidden_dim=8,
+    )
+    crystal = cscl(11, 17).supercell((3, 3, 3))
+
+    def timed(calculator: ModelCalculator, seed_loop: bool) -> float:
+        md = MolecularDynamics(
+            crystal, calculator, timestep_fs=1.0, temperature_k=300.0, seed=0
+        )
+        md.run(1)  # warm (also primes the skin cache)
+        best = float("inf")
+        for _ in range(2):
+            t0 = time.perf_counter()
+            if seed_loop:
+                _seed_md_loop(md, calculator, n_steps)
+            else:
+                md.run(n_steps)
+            best = min(best, time.perf_counter() - t0)
+        return n_steps / best
+
+    model = CHGNetModel(config, np.random.default_rng(0))
+    baseline = timed(ModelCalculator(model), seed_loop=True)
+    plain = timed(ModelCalculator(model), seed_loop=False)
+    skin_calc = ModelCalculator(model, skin=skin)
+    skinned = timed(skin_calc, seed_loop=False)
+    cache = skin_calc._cache  # None when --skin 0 (reuse disabled)
+    return {
+        "atoms": crystal.num_atoms,
+        "steps": n_steps,
+        "skin": skin,
+        "seed_steps_per_s": baseline,
+        "single_eval_steps_per_s": plain,
+        "skin_steps_per_s": skinned,
+        "speedup_single_eval": plain / baseline,
+        "speedup_total": skinned / baseline,
+        "cache_builds": cache.num_builds if cache else 0,
+        "cache_reuses": cache.num_reuses if cache else 0,
+    }
+
+
+# --------------------------------------------------------------- layer 3
+def bench_collate(smoke: bool) -> dict:
+    n_structs = 32 if smoke else 96
+    iters = 80 if smoke else 200
+    entries = generate_mptrj(n_structs, seed=5, max_atoms=12)
+    graphs = [build_graph(e.crystal) for e in entries]
+    labels = [e.labels for e in entries]
+
+    _collate_concat(graphs, labels)  # warm
+    t0 = time.perf_counter()
+    for _ in range(iters):
+        _collate_concat(graphs, labels)
+    t_legacy = (time.perf_counter() - t0) / iters
+    t0 = time.perf_counter()
+    for _ in range(iters):
+        collate(graphs, labels)
+    t_zero_copy = (time.perf_counter() - t0) / iters
+
+    from repro.data.dataset import StructureDataset
+
+    ds = StructureDataset(entries, memoize_batches=True)
+    idx = list(range(n_structs))
+    ds.batch(idx)  # assemble once
+    t0 = time.perf_counter()
+    for _ in range(iters):
+        ds.batch(idx)
+    t_memo = (time.perf_counter() - t0) / iters
+    return {
+        "batch_size": n_structs,
+        "iters": iters,
+        "legacy_s": t_legacy,
+        "zero_copy_s": t_zero_copy,
+        "memoized_s": t_memo,
+        "speedup_zero_copy": t_legacy / t_zero_copy,
+        "speedup_memoized": t_legacy / t_memo,
+    }
+
+
+# ------------------------------------------------------------------ main
+def main(argv: list[str] | None = None) -> dict:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--smoke", action="store_true", help="seconds-long run")
+    parser.add_argument("--skin", type=float, default=0.5, help="Verlet skin radius (A)")
+    parser.add_argument("--out", default=None, help="JSON output path")
+    args = parser.parse_args(argv)
+
+    results = {
+        "mode": "smoke" if args.smoke else "full",
+        "neighbor_search": bench_neighbor_search(args.smoke),
+        "md": bench_md(args.smoke, skin=args.skin),
+        "collate": bench_collate(args.smoke),
+    }
+
+    out_path = args.out or (output_dir() / "BENCH_graph_pipeline.json")
+    with open(out_path, "w") as fh:
+        json.dump(results, fh, indent=2)
+
+    rows = [
+        [str(r["atoms"]), f"{r['dense_s']:.4f}", f"{r['cell_s']:.4f}", f"{r['speedup']:.1f}x"]
+        for r in results["neighbor_search"]
+    ]
+    emit(
+        "graph_pipeline_neighbors",
+        format_table(
+            ["atoms", "dense (s)", "cell list (s)", "speedup"],
+            rows,
+            title="Neighbor search scaling (cutoff 6 A)",
+        ),
+    )
+    md = results["md"]
+    co = results["collate"]
+    emit(
+        "graph_pipeline_md_collate",
+        format_table(
+            ["stage", "seed", "overhauled", "speedup"],
+            [
+                [
+                    f"MD steps/s ({md['atoms']} atoms)",
+                    f"{md['seed_steps_per_s']:.2f}",
+                    f"{md['skin_steps_per_s']:.2f}",
+                    f"{md['speedup_total']:.2f}x",
+                ],
+                [
+                    f"collate (s/batch of {co['batch_size']})",
+                    f"{co['legacy_s']:.5f}",
+                    f"{co['zero_copy_s']:.5f}",
+                    f"{co['speedup_zero_copy']:.2f}x",
+                ],
+                [
+                    "collate memoized",
+                    f"{co['legacy_s']:.5f}",
+                    f"{co['memoized_s']:.6f}",
+                    f"{co['speedup_memoized']:.0f}x",
+                ],
+            ],
+            title="MD skin-list reuse and zero-copy collate",
+        ),
+    )
+    print(f"wrote {out_path}")
+    return results
+
+
+if __name__ == "__main__":
+    main()

@@ -37,6 +37,13 @@ def _add_md(sub: argparse._SubParsersAction) -> None:
     p.add_argument("--temperature", type=float, default=300.0, help="kelvin")
     p.add_argument("--calculator", choices=("oracle", "fast", "chgnet"), default="oracle")
     p.add_argument("--checkpoint", default="", help="load model weights from this .npz path")
+    p.add_argument(
+        "--skin",
+        type=float,
+        default=0.0,
+        help="Verlet skin radius in angstroms (model calculators only): reuse "
+        "the neighbor search across steps until an atom moves > skin/2",
+    )
 
 
 def _add_profile(sub: argparse._SubParsersAction) -> None:
@@ -106,13 +113,15 @@ def cmd_md(args: argparse.Namespace) -> int:
 
     crystal = named_structures()[args.structure]
     if args.calculator == "oracle":
+        if args.skin:
+            print("warning: --skin only applies to model calculators; ignored")
         calc = OracleCalculator()
     else:
         rng = np.random.default_rng(0)
         model = FastCHGNet(rng) if args.calculator == "fast" else CHGNet(rng)
         if args.checkpoint:
             model.load(args.checkpoint)
-        calc = ModelCalculator(model)
+        calc = ModelCalculator(model, skin=args.skin)
     md = MolecularDynamics(
         crystal, calc, timestep_fs=args.timestep, temperature_k=args.temperature, seed=0
     )

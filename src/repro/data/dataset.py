@@ -79,19 +79,31 @@ class DatasetSplits:
 
 
 class StructureDataset:
-    """Labeled structures with graphs precomputed once (as reference CHGNet does)."""
+    """Labeled structures with graphs precomputed once (as reference CHGNet does).
+
+    ``memoize_batches`` turns on collate memoization: repeated :meth:`batch`
+    calls with an identical index tuple return the same assembled
+    :class:`GraphBatch` object instead of re-collating.  This pays off for
+    fixed index sets — eval loaders with ``shuffle=False``, static shards —
+    and is off by default because shuffled training loaders never repeat a
+    tuple (the cache would only grow).  Cached batches are shared; callers
+    must treat them as read-only.
+    """
 
     def __init__(
         self,
         entries: list[LabeledStructure],
         cutoff_atom: float = 6.0,
         cutoff_bond: float = 3.0,
+        memoize_batches: bool = False,
     ) -> None:
         if not entries:
             raise ValueError("dataset must contain at least one entry")
         self.entries = entries
         self.cutoff_atom = cutoff_atom
         self.cutoff_bond = cutoff_bond
+        self.memoize_batches = memoize_batches
+        self._batch_cache: dict[tuple[int, ...], object] = {}
         self.graphs: list[CrystalGraph] = [
             build_graph(e.crystal, cutoff_atom, cutoff_bond) for e in entries
         ]
@@ -103,18 +115,33 @@ class StructureDataset:
     def labels(self, i: int) -> Labels:
         return self.entries[i].labels
 
-    def batch(self, indices: list[int] | np.ndarray):
-        """Collate the given entries into a :class:`GraphBatch`."""
-        indices = [int(i) for i in indices]
-        return collate(
-            [self.graphs[i] for i in indices], [self.entries[i].labels for i in indices]
+    def batch(self, indices: list[int] | np.ndarray, memoize: bool | None = None):
+        """Collate the given entries into a :class:`GraphBatch`.
+
+        ``memoize`` overrides the dataset-level ``memoize_batches`` default
+        for this call.
+        """
+        key = tuple(int(i) for i in indices)
+        if memoize is None:
+            memoize = self.memoize_batches
+        if memoize:
+            cached = self._batch_cache.get(key)
+            if cached is not None:
+                return cached
+        batch = collate(
+            [self.graphs[i] for i in key], [self.entries[i].labels for i in key]
         )
+        if memoize:
+            self._batch_cache[key] = batch
+        return batch
 
     def subset(self, indices: np.ndarray) -> "StructureDataset":
         ds = StructureDataset.__new__(StructureDataset)
         ds.entries = [self.entries[int(i)] for i in indices]
         ds.cutoff_atom = self.cutoff_atom
         ds.cutoff_bond = self.cutoff_bond
+        ds.memoize_batches = self.memoize_batches
+        ds._batch_cache = {}
         ds.graphs = [self.graphs[int(i)] for i in indices]
         ds.feature_numbers = self.feature_numbers[indices]
         return ds

@@ -3,6 +3,15 @@
 The prefetching loader implements the paper's "Data Prefetch": a background
 worker collates the next batch while the current one trains, analogous to
 the separate-stream host-to-device copies of the original.
+
+Both loaders advance their ``epoch`` counter when an iterator is *created*,
+so a consumer that breaks out mid-epoch still sees a fresh shuffle order on
+the next pass.  ``memoize`` is tri-state: ``True`` reuses assembled batches
+for repeated index tuples (useful for ``shuffle=False`` eval loaders and
+fixed shards), ``False`` forces re-collation even on a memoizing dataset
+(shuffled training loaders never repeat a tuple, so caching would only
+grow), and ``None`` (default) defers to the dataset's ``memoize_batches``
+setting; see :meth:`repro.data.dataset.StructureDataset.batch`.
 """
 
 from __future__ import annotations
@@ -28,6 +37,7 @@ class DataLoader:
         shuffle: bool = True,
         drop_last: bool = True,
         prefetch: bool = False,
+        memoize: bool | None = None,
     ) -> None:
         if batch_size < 1:
             raise ValueError(f"batch_size must be >= 1, got {batch_size}")
@@ -37,6 +47,7 @@ class DataLoader:
         self.shuffle = shuffle
         self.drop_last = drop_last
         self.prefetch = prefetch
+        self.memoize = memoize
         self.epoch = 0
 
     def __len__(self) -> int:
@@ -45,26 +56,30 @@ class DataLoader:
             return n // self.batch_size
         return (n + self.batch_size - 1) // self.batch_size
 
-    def _indices(self) -> np.ndarray:
+    def _indices(self, epoch: int) -> np.ndarray:
         if self.shuffle:
-            rng = np.random.default_rng((self.seed, self.epoch))
+            rng = np.random.default_rng((self.seed, epoch))
             return rng.permutation(len(self.dataset))
         return np.arange(len(self.dataset))
 
-    def _batches(self) -> Iterator[GraphBatch]:
-        order = self._indices()
+    def _batches(self, epoch: int) -> Iterator[GraphBatch]:
+        order = self._indices(epoch)
         for lo in range(0, len(order), self.batch_size):
             chunk = order[lo : lo + self.batch_size]
             if self.drop_last and len(chunk) < self.batch_size:
                 return
-            yield self.dataset.batch(chunk)
+            yield self.dataset.batch(chunk, memoize=self.memoize)
 
     def __iter__(self) -> Iterator[GraphBatch]:
-        source = self._batches()
+        # Plain method (not a generator) so the epoch advances at iterator
+        # *creation*: a consumer that abandons the iterator mid-epoch still
+        # gets a fresh shuffle order next time.
+        epoch = self.epoch
+        self.epoch += 1
+        source = self._batches(epoch)
         if self.prefetch:
             source = iter(PrefetchQueue(source, depth=1))
-        yield from source
-        self.epoch += 1
+        return source
 
 
 class ShardedLoader:
@@ -78,9 +93,11 @@ class ShardedLoader:
         self,
         dataset: StructureDataset,
         sampler: BatchSampler,
+        memoize: bool | None = None,
     ) -> None:
         self.dataset = dataset
         self.sampler = sampler
+        self.memoize = memoize
         self.epoch = 0
 
     @classmethod
@@ -90,16 +107,24 @@ class ShardedLoader:
         global_batch_size: int,
         world_size: int,
         seed: int = 0,
+        memoize: bool | None = None,
     ) -> "ShardedLoader":
         return cls(
             dataset,
             DefaultSampler(dataset.feature_numbers, global_batch_size, world_size, seed),
+            memoize=memoize,
         )
 
     def __iter__(self) -> Iterator[list[GraphBatch]]:
-        for shards in self.sampler.epoch_partitions(self.epoch):
-            yield [self.dataset.batch(s) for s in shards]
+        # Plain method, not a generator: epoch advances at creation (see
+        # DataLoader.__iter__).
+        epoch = self.epoch
         self.epoch += 1
+        return self._steps(epoch)
+
+    def _steps(self, epoch: int) -> Iterator[list[GraphBatch]]:
+        for shards in self.sampler.epoch_partitions(epoch):
+            yield [self.dataset.batch(s, memoize=self.memoize) for s in shards]
 
     def __len__(self) -> int:
         n = len(self.dataset)

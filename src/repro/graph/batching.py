@@ -4,6 +4,12 @@ A :class:`GraphBatch` holds the concatenated atoms/edges/angles of many
 samples plus per-sample offset tables — everything both basis algorithms
 need: Algorithm 1 slices per-sample ranges and processes them serially,
 Algorithm 2 consumes the concatenated arrays in one pass.
+
+:func:`collate` assembles batches zero-copy style: every output array is
+allocated once at its final size (known from the offset tables) and filled
+in a single pass over the graphs, with index offsets applied directly into
+the destination slice (``np.add(..., out=...)``) — no per-graph temporary
+copies, no repeated ``np.concatenate``.
 """
 
 from __future__ import annotations
@@ -13,6 +19,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.graph.crystal_graph import CrystalGraph
+from repro.segments import offsets as _offsets
 
 
 @dataclass
@@ -97,66 +104,92 @@ class GraphBatch:
 
 
 def collate(graphs: list[CrystalGraph], labels: list[Labels] | None = None) -> GraphBatch:
-    """Concatenate graphs (and labels) into one batch."""
+    """Assemble graphs (and labels) into one batch in a single fill pass."""
     if not graphs:
         raise ValueError("cannot collate an empty list of graphs")
     if labels is not None and len(labels) != len(graphs):
         raise ValueError(f"{len(labels)} labels for {len(graphs)} graphs")
 
     s = len(graphs)
-    n_atoms = np.array([g.num_atoms for g in graphs])
-    n_edges = np.array([g.num_edges for g in graphs])
-    n_short = np.array([g.num_short_edges for g in graphs])
-    n_angles = np.array([g.num_angles for g in graphs])
+    n_atoms = np.array([g.num_atoms for g in graphs], dtype=np.int64)
+    n_edges = np.array([g.num_edges for g in graphs], dtype=np.int64)
+    n_short = np.array([g.num_short_edges for g in graphs], dtype=np.int64)
+    n_angles = np.array([g.num_angles for g in graphs], dtype=np.int64)
 
-    atom_off = np.concatenate([[0], np.cumsum(n_atoms)])
-    edge_off = np.concatenate([[0], np.cumsum(n_edges)])
-    short_off = np.concatenate([[0], np.cumsum(n_short)])
-    angle_off = np.concatenate([[0], np.cumsum(n_angles)])
+    atom_off = _offsets(n_atoms)
+    edge_off = _offsets(n_edges)
+    short_off = _offsets(n_short)
+    angle_off = _offsets(n_angles)
+    total_atoms = int(atom_off[-1])
+    total_edges = int(edge_off[-1])
+    total_short = int(short_off[-1])
+    total_angles = int(angle_off[-1])
 
-    species = np.concatenate([g.crystal.species for g in graphs])
-    frac = np.concatenate([g.crystal.frac_coords for g in graphs])
-    atom_sample = np.repeat(np.arange(s), n_atoms)
-    lattices = np.stack([g.crystal.lattice.matrix for g in graphs])
+    species = np.empty(total_atoms, dtype=np.int64)
+    frac = np.empty((total_atoms, 3))
+    lattices = np.empty((s, 3, 3))
+    edge_src = np.empty(total_edges, dtype=np.int64)
+    edge_dst = np.empty(total_edges, dtype=np.int64)
+    edge_image = np.empty((total_edges, 3), dtype=np.int64)
+    short_idx = np.empty(total_short, dtype=np.int64)
+    angle_e1 = np.empty(total_angles, dtype=np.int64)
+    angle_e2 = np.empty(total_angles, dtype=np.int64)
+    angle_center = np.empty(total_angles, dtype=np.int64)
 
-    edge_src = np.concatenate([g.edge_src + atom_off[i] for i, g in enumerate(graphs)])
-    edge_dst = np.concatenate([g.edge_dst + atom_off[i] for i, g in enumerate(graphs)])
-    edge_image = np.concatenate([g.edge_image for g in graphs])
-    edge_sample = np.repeat(np.arange(s), n_edges)
+    with_labels = labels is not None
+    if with_labels:
+        energy_per_atom = np.empty(s)
+        forces = np.empty((total_atoms, 3))
+        stress = np.empty((s, 3, 3))
+        magmom = np.empty(total_atoms)
 
-    short_idx = np.concatenate([g.short_idx + edge_off[i] for i, g in enumerate(graphs)])
-    angle_e1 = np.concatenate([g.angle_e1 + short_off[i] for i, g in enumerate(graphs)])
-    angle_e2 = np.concatenate([g.angle_e2 + short_off[i] for i, g in enumerate(graphs)])
-    angle_center = np.concatenate(
-        [g.angle_center + atom_off[i] for i, g in enumerate(graphs)]
-    )
-    angle_sample = np.repeat(np.arange(s), n_angles)
+    for i, g in enumerate(graphs):
+        a0, a1 = atom_off[i], atom_off[i + 1]
+        e0, e1 = edge_off[i], edge_off[i + 1]
+        b0, b1 = short_off[i], short_off[i + 1]
+        g0, g1 = angle_off[i], angle_off[i + 1]
+        species[a0:a1] = g.crystal.species
+        frac[a0:a1] = g.crystal.frac_coords
+        lattices[i] = g.crystal.lattice.matrix
+        np.add(g.edge_src, a0, out=edge_src[e0:e1])
+        np.add(g.edge_dst, a0, out=edge_dst[e0:e1])
+        edge_image[e0:e1] = g.edge_image
+        np.add(g.short_idx, e0, out=short_idx[b0:b1])
+        np.add(g.angle_e1, b0, out=angle_e1[g0:g1])
+        np.add(g.angle_e2, b0, out=angle_e2[g0:g1])
+        np.add(g.angle_center, a0, out=angle_center[g0:g1])
+        if with_labels:
+            lab = labels[i]
+            lab.validate(g.num_atoms)
+            energy_per_atom[i] = lab.energy_per_atom
+            forces[a0:a1] = lab.forces
+            stress[i] = lab.stress
+            magmom[a0:a1] = lab.magmom
 
+    sample_ids = np.arange(s, dtype=np.int64)
     batch = GraphBatch(
         num_structs=s,
-        species=species.astype(np.int64),
+        species=species,
         frac=frac,
-        atom_sample=atom_sample.astype(np.int64),
+        atom_sample=np.repeat(sample_ids, n_atoms),
         lattices=lattices,
-        edge_src=edge_src.astype(np.int64),
-        edge_dst=edge_dst.astype(np.int64),
-        edge_image=edge_image.astype(np.int64),
-        edge_sample=edge_sample.astype(np.int64),
-        short_idx=short_idx.astype(np.int64),
-        angle_e1=angle_e1.astype(np.int64),
-        angle_e2=angle_e2.astype(np.int64),
-        angle_center=angle_center.astype(np.int64),
-        angle_sample=angle_sample.astype(np.int64),
-        atom_offsets=atom_off.astype(np.int64),
-        edge_offsets=edge_off.astype(np.int64),
-        short_offsets=short_off.astype(np.int64),
-        angle_offsets=angle_off.astype(np.int64),
+        edge_src=edge_src,
+        edge_dst=edge_dst,
+        edge_image=edge_image,
+        edge_sample=np.repeat(sample_ids, n_edges),
+        short_idx=short_idx,
+        angle_e1=angle_e1,
+        angle_e2=angle_e2,
+        angle_center=angle_center,
+        angle_sample=np.repeat(sample_ids, n_angles),
+        atom_offsets=atom_off,
+        edge_offsets=edge_off,
+        short_offsets=short_off,
+        angle_offsets=angle_off,
     )
-    if labels is not None:
-        for g, lab in zip(graphs, labels):
-            lab.validate(g.num_atoms)
-        batch.energy_per_atom = np.array([lab.energy_per_atom for lab in labels])
-        batch.forces = np.concatenate([lab.forces for lab in labels])
-        batch.stress = np.stack([lab.stress for lab in labels])
-        batch.magmom = np.concatenate([lab.magmom for lab in labels])
+    if with_labels:
+        batch.energy_per_atom = energy_per_atom
+        batch.forces = forces
+        batch.stress = stress
+        batch.magmom = magmom
     return batch

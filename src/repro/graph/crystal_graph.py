@@ -19,8 +19,9 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.segments import offsets, segment_arange
 from repro.structures.crystal import Crystal
-from repro.structures.neighbors import neighbor_list
+from repro.structures.neighbors import NeighborList, neighbor_list
 
 
 @dataclass
@@ -75,8 +76,14 @@ def build_graph(
     crystal: Crystal,
     cutoff_atom: float = 6.0,
     cutoff_bond: float = 3.0,
+    nl: NeighborList | None = None,
 ) -> CrystalGraph:
     """Extract atom graph and bond graph from a crystal.
+
+    ``nl`` supplies a precomputed neighbor list at ``cutoff_atom`` in
+    canonical order (e.g. from a :class:`~repro.structures.NeighborCache`
+    during MD); when given, the pair search is skipped and only the derived
+    short-edge and angle arrays are recomputed.
 
     Raises if an atom has no neighbor within ``cutoff_atom`` (an isolated
     atom has no defined message path; the paper's dataset never contains
@@ -86,7 +93,8 @@ def build_graph(
         raise ValueError(
             f"bond cutoff {cutoff_bond} cannot exceed atom cutoff {cutoff_atom}"
         )
-    nl = neighbor_list(crystal, cutoff_atom)
+    if nl is None:
+        nl = neighbor_list(crystal, cutoff_atom)
     n = crystal.num_atoms
     if np.bincount(nl.src, minlength=n).min() == 0:
         raise ValueError(
@@ -99,23 +107,27 @@ def build_graph(
 
     # Ordered pairs of short edges sharing a source atom.  Short edges are
     # sorted by src (the neighbor list is lexsorted), so each atom's edges
-    # form a contiguous run.
-    counts = np.bincount(short_src, minlength=n)
-    starts = np.concatenate([[0], np.cumsum(counts)])
-    e1_list: list[np.ndarray] = []
-    e2_list: list[np.ndarray] = []
-    center_list: list[np.ndarray] = []
-    for atom in np.flatnonzero(counts >= 2):
-        local = np.arange(starts[atom], starts[atom + 1], dtype=np.int64)
-        p, q = np.meshgrid(local, local, indexing="ij")
-        off_diag = p.ravel() != q.ravel()
-        e1_list.append(p.ravel()[off_diag])
-        e2_list.append(q.ravel()[off_diag])
-        center_list.append(np.full(int(off_diag.sum()), atom, dtype=np.int64))
-
-    angle_e1 = np.concatenate(e1_list) if e1_list else np.zeros(0, dtype=np.int64)
-    angle_e2 = np.concatenate(e2_list) if e2_list else np.zeros(0, dtype=np.int64)
-    angle_center = np.concatenate(center_list) if center_list else np.zeros(0, dtype=np.int64)
+    # form a contiguous run; the pair grids of all runs are built in one
+    # vectorized pass (enumerate each atom's c^2 local (p, q) combinations,
+    # then drop the p == q diagonal).
+    counts = np.bincount(short_src, minlength=n).astype(np.int64)
+    starts = offsets(counts)
+    sq = counts * counts
+    total = int(sq.sum())
+    if total:
+        c_rep = np.repeat(counts, sq)  # run length c, repeated c^2 times
+        base = np.repeat(starts[:-1], sq)  # run start per combination
+        local = segment_arange(sq)
+        p_local = local // np.maximum(c_rep, 1)
+        q_local = local - p_local * c_rep
+        off_diag = p_local != q_local
+        angle_e1 = (base + p_local)[off_diag]
+        angle_e2 = (base + q_local)[off_diag]
+        angle_center = np.repeat(np.arange(n, dtype=np.int64), sq)[off_diag]
+    else:
+        angle_e1 = np.zeros(0, dtype=np.int64)
+        angle_e2 = np.zeros(0, dtype=np.int64)
+        angle_center = np.zeros(0, dtype=np.int64)
 
     return CrystalGraph(
         crystal=crystal,

@@ -67,12 +67,20 @@ class MolecularDynamics:
         rng = np.random.default_rng(seed)
         velocities = maxwell_boltzmann_velocities(crystal, temperature_k, rng)
         first = calculator.calculate(crystal)
-        self.state = VerletState(crystal=crystal, velocities=velocities, forces=first.forces)
-        self._last_energy = first.energy
+        self.state = VerletState(
+            crystal=crystal,
+            velocities=velocities,
+            forces=first.forces,
+            potential_energy=first.energy,
+        )
 
     def run(self, n_steps: int) -> MDResult:
-        """Advance ``n_steps``; each step rebuilds the graph (step-by-step
-        processing, as the paper measures)."""
+        """Advance ``n_steps``, recording observables.
+
+        Each step costs exactly one model evaluation: the integrator's
+        force call also yields the potential energy, which is threaded
+        through :class:`VerletState` instead of being recomputed.
+        """
         if n_steps < 1:
             raise ValueError(f"n_steps must be >= 1, got {n_steps}")
         result = MDResult()
@@ -80,11 +88,10 @@ class MolecularDynamics:
             t0 = time.perf_counter()
             self.state = self.integrator.step(self.state, self.calculator)
             dt = time.perf_counter() - t0
-            pot = self.calculator.calculate(self.state.crystal).energy
             result.records.append(
                 MDRecord(
                     step=step,
-                    potential_energy=pot,
+                    potential_energy=self.state.potential_energy,
                     kinetic_energy=kinetic_energy(self.state.crystal, self.state.velocities),
                     temperature=instantaneous_temperature(
                         self.state.crystal, self.state.velocities

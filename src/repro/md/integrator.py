@@ -49,11 +49,14 @@ def instantaneous_temperature(crystal: Crystal, velocities: np.ndarray) -> float
 
 @dataclass
 class VerletState:
-    """Positions (via crystal), velocities and forces between steps."""
+    """Positions (via crystal), velocities, forces and the potential energy
+    of the evaluation that produced those forces — carried between steps so
+    observers never need a second model evaluation."""
 
     crystal: Crystal
     velocities: np.ndarray  # (n, 3) A/fs
     forces: np.ndarray  # (n, 3) eV/A
+    potential_energy: float  # eV — required so no construction site forgets it
 
 
 class VelocityVerlet:
@@ -80,4 +83,9 @@ class VelocityVerlet:
         result = calculator.calculate(new_crystal)
         accel_new = result.forces / masses * ACCEL_CONV
         v_new = v_half + 0.5 * self.dt * accel_new
-        return VerletState(crystal=new_crystal, velocities=v_new, forces=result.forces)
+        return VerletState(
+            crystal=new_crystal,
+            velocities=v_new,
+            forces=result.forces,
+            potential_energy=result.energy,
+        )

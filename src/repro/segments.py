@@ -1,0 +1,33 @@
+"""Segment helpers for ragged-array assembly.
+
+Several hot paths (cell-list candidate gathering, angle-pair enumeration,
+batch collation) work with concatenated variable-length runs described by a
+per-run count vector.  These helpers are the two idioms they share.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def offsets(counts: np.ndarray) -> np.ndarray:
+    """Prefix-sum offset table: ``(m + 1,)`` int64, starting at 0.
+
+    ``offsets(c)[i] : offsets(c)[i + 1]`` slices run ``i`` out of the
+    concatenation of runs with lengths ``c``.
+    """
+    counts = np.asarray(counts, dtype=np.int64)
+    off = np.zeros(counts.shape[0] + 1, dtype=np.int64)
+    np.cumsum(counts, out=off[1:])
+    return off
+
+
+def segment_arange(counts: np.ndarray) -> np.ndarray:
+    """Concatenated ``arange(c)`` for every run length ``c`` in ``counts``.
+
+    The position of each element within its own run — the vectorized
+    replacement for ``[np.arange(c) for c in counts]``.
+    """
+    counts = np.asarray(counts, dtype=np.int64)
+    total = int(counts.sum())
+    return np.arange(total, dtype=np.int64) - np.repeat(np.cumsum(counts) - counts, counts)

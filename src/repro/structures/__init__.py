@@ -12,7 +12,13 @@ from repro.structures.elements import (
     symbols,
 )
 from repro.structures.lattice import Lattice
-from repro.structures.neighbors import NeighborList, neighbor_list, neighbor_list_bruteforce
+from repro.structures.neighbors import (
+    CELL_LIST_MIN_ATOMS,
+    NeighborCache,
+    NeighborList,
+    neighbor_list,
+    neighbor_list_bruteforce,
+)
 from repro.structures.prototypes import (
     PROTOTYPE_BUILDERS,
     bcc,
@@ -40,6 +46,8 @@ __all__ = [
     "element",
     "symbols",
     "Lattice",
+    "CELL_LIST_MIN_ATOMS",
+    "NeighborCache",
     "NeighborList",
     "neighbor_list",
     "neighbor_list_bruteforce",

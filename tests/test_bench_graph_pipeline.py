@@ -1,0 +1,45 @@
+"""The graph-pipeline benchmark's smoke mode must always run end-to-end."""
+
+from __future__ import annotations
+
+import importlib.util
+import json
+import sys
+from pathlib import Path
+
+import pytest
+
+BENCH = Path(__file__).resolve().parents[1] / "benchmarks" / "bench_graph_pipeline.py"
+
+
+@pytest.fixture(scope="module")
+def bench_module():
+    spec = importlib.util.spec_from_file_location("bench_graph_pipeline", BENCH)
+    module = importlib.util.module_from_spec(spec)
+    sys.modules[spec.name] = module
+    spec.loader.exec_module(module)
+    return module
+
+
+def test_smoke_runs_end_to_end(bench_module, tmp_path):
+    out = tmp_path / "BENCH_graph_pipeline.json"
+    results = bench_module.main(["--smoke", "--out", str(out)])
+
+    assert results["mode"] == "smoke"
+    # layer 1: scaling table covers a >= 512-atom supercell
+    atoms = [row["atoms"] for row in results["neighbor_search"]]
+    assert max(atoms) >= 512
+    for row in results["neighbor_search"]:
+        assert row["dense_s"] > 0 and row["cell_s"] > 0 and row["pairs"] > 0
+    # layer 2: MD ran and the skin cache was exercised
+    md = results["md"]
+    assert md["seed_steps_per_s"] > 0 and md["skin_steps_per_s"] > 0
+    assert md["cache_builds"] >= 1
+    assert md["cache_reuses"] >= 1
+    # layer 3: collate timings are sane
+    co = results["collate"]
+    assert co["legacy_s"] > 0 and co["zero_copy_s"] > 0 and co["memoized_s"] > 0
+    # the JSON artifact round-trips
+    on_disk = json.loads(out.read_text())
+    assert on_disk["mode"] == "smoke"
+    assert on_disk["md"]["steps"] == md["steps"]

@@ -167,3 +167,56 @@ class TestCollate:
         assert np.array_equal(batch.edge_src, g.edge_src)
         assert np.array_equal(batch.short_idx, g.short_idx)
         assert np.array_equal(batch.angle_e1, g.angle_e1)
+
+
+def _labels_like(g, rng):
+    return Labels(
+        energy_per_atom=float(rng.normal()),
+        forces=rng.normal(size=(g.num_atoms, 3)),
+        stress=rng.normal(size=(3, 3)),
+        magmom=rng.uniform(size=g.num_atoms),
+    )
+
+
+def _collate_reference(graphs, labels=None):
+    """The seed's concatenate-based collate (shared oracle module)."""
+    from repro.graph.reference import collate_concat
+
+    return collate_concat(graphs, labels)
+
+
+_ARRAY_FIELDS = [
+    "species", "frac", "atom_sample", "lattices",
+    "edge_src", "edge_dst", "edge_image", "edge_sample",
+    "short_idx", "angle_e1", "angle_e2", "angle_center", "angle_sample",
+    "atom_offsets", "edge_offsets", "short_offsets", "angle_offsets",
+]
+
+
+class TestZeroCopyCollate:
+    @pytest.fixture
+    def graphs(self):
+        return [build_graph(c) for c in (cscl(11, 17), rocksalt(3, 8), perovskite(38, 22, 8))]
+
+    def test_matches_reference_without_labels(self, graphs):
+        a = collate(graphs)
+        b = _collate_reference(graphs)
+        for name in _ARRAY_FIELDS:
+            got, want = getattr(a, name), getattr(b, name)
+            assert got.dtype == want.dtype, name
+            assert np.array_equal(got, want), name
+        assert a.energy_per_atom is None and a.forces is None
+
+    def test_matches_reference_with_labels(self, graphs):
+        rng = np.random.default_rng(7)
+        labels = [_labels_like(g, rng) for g in graphs]
+        a = collate(graphs, labels)
+        b = _collate_reference(graphs, labels)
+        for name in _ARRAY_FIELDS + ["energy_per_atom", "forces", "stress", "magmom"]:
+            assert np.array_equal(getattr(a, name), getattr(b, name)), name
+
+    def test_output_arrays_are_freshly_owned(self, graphs):
+        """Filled outputs must not alias the per-graph inputs."""
+        batch = collate(graphs)
+        batch.edge_src += 1  # must not corrupt the source graphs
+        assert graphs[0].edge_src[0] == _collate_reference(graphs).edge_src[0]

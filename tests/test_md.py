@@ -132,3 +132,86 @@ class TestModelCalculator:
         md = MolecularDynamics(crystal, OracleCalculator(), seed=1)
         per_step = md.time_steps(2, warmup=1)
         assert per_step > 0
+
+
+class CountingCalculator:
+    """Wraps a calculator, counting ``calculate`` calls."""
+
+    def __init__(self, inner):
+        self.inner = inner
+        self.calls = 0
+
+    def calculate(self, crystal):
+        self.calls += 1
+        return self.inner.calculate(crystal)
+
+
+class TestSingleEvaluationSteps:
+    def test_run_costs_one_evaluation_per_step(self, crystal):
+        """Regression: ``run`` must not re-evaluate just to record energy."""
+        calc = CountingCalculator(OracleCalculator())
+        md = MolecularDynamics(crystal, calc, seed=1)
+        after_init = calc.calls
+        assert after_init == 1
+        md.run(5)
+        assert calc.calls == after_init + 5
+
+    def test_recorded_energy_matches_state(self, crystal):
+        calc = OracleCalculator()
+        md = MolecularDynamics(crystal, calc, timestep_fs=0.5, seed=1)
+        result = md.run(3)
+        recomputed = calc.calculate(md.state.crystal).energy
+        assert result.records[-1].potential_energy == pytest.approx(recomputed, abs=1e-10)
+        assert md.state.potential_energy == result.records[-1].potential_energy
+
+
+class TestSkinListMD:
+    def test_negative_skin_raises(self, small_config):
+        model = CHGNetModel(small_config, np.random.default_rng(3))
+        with pytest.raises(ValueError):
+            ModelCalculator(model, skin=-0.5)
+
+    def test_skin_reuse_matches_rebuild_every_step(self, small_config, crystal):
+        """Forces along a skin-reused trajectory equal step-by-step rebuild
+        (well inside 1e-9) even after a rebuild trigger fires.
+
+        The model's output heads are zero-initialized, so the weights are
+        jittered (and the start structure symmetry-broken) to make the
+        forces nonzero — otherwise the comparison would be vacuous.
+        """
+        model = CHGNetModel(
+            small_config.with_level(OptLevel.DECOMPOSE_FS), np.random.default_rng(3)
+        )
+        wrng = np.random.default_rng(9)
+        for p in model.parameters():
+            p.data += wrng.normal(scale=0.05, size=p.data.shape)
+        start = crystal.perturbed(np.random.default_rng(1), 0.05)
+        plain = MolecularDynamics(
+            start, ModelCalculator(model), timestep_fs=2.0, temperature_k=600.0, seed=4
+        )
+        skinned_calc = ModelCalculator(model, skin=0.3)
+        skinned = MolecularDynamics(
+            start, skinned_calc, timestep_fs=2.0, temperature_k=600.0, seed=4
+        )
+        saw_force = 0.0
+        for _ in range(12):
+            plain.state = plain.integrator.step(plain.state, plain.calculator)
+            skinned.state = skinned.integrator.step(skinned.state, skinned.calculator)
+            np.testing.assert_allclose(
+                skinned.state.forces, plain.state.forces, rtol=0, atol=1e-9
+            )
+            assert abs(skinned.state.potential_energy - plain.state.potential_energy) <= 1e-9
+            saw_force = max(saw_force, float(np.abs(plain.state.forces).max()))
+        assert saw_force > 1e-6, "zero forces throughout: comparison is vacuous"
+        cache = skinned_calc._cache
+        assert cache.num_reuses > 0, "skin list never reused"
+        assert cache.num_builds >= 2, "trajectory too tame: rebuild never triggered"
+
+    def test_skin_calculator_single_point_matches(self, small_config, crystal):
+        model = CHGNetModel(
+            small_config.with_level(OptLevel.DECOMPOSE_FS), np.random.default_rng(3)
+        )
+        a = ModelCalculator(model).calculate(crystal)
+        b = ModelCalculator(model, skin=1.0).calculate(crystal)
+        np.testing.assert_array_equal(a.forces, b.forces)
+        assert a.energy == b.energy

@@ -120,8 +120,16 @@ def test_property_load_balance_partition(n, world, seed):
     combined = sorted(np.concatenate(shards).tolist())
     assert combined == sorted(batch.tolist())
     assert len({len(s) for s in shards}) == 1
-    # the greedy pairing never produces a catastrophic imbalance
-    assert coefficient_of_variation(lb.rank_loads(shards)) < 1.0
+    # The greedy pairing never produces a catastrophic imbalance.  When one
+    # sample's workload exceeds the mean rank load, *no* equal-count
+    # partition can keep CoV small (the giant alone pins its rank), so the
+    # CoV bound only applies in the non-dominated regime; a provable
+    # worst-case bound on the heaviest rank holds always.
+    loads = lb.rank_loads(shards)
+    batch_features = lb.feature_numbers[batch]
+    if batch_features.max() <= loads.mean():
+        assert coefficient_of_variation(loads) < 1.0
+    assert loads.max() <= loads.mean() + (len(shards[0]) / 2) * batch_features.max() + 1e-6
 
 
 class TestDataLoader:
@@ -168,3 +176,85 @@ class TestShardedLoader:
         step = next(iter(loader))
         assert len(step) == 2
         assert sum(b.num_structs for b in step) == 8
+
+
+class TestEpochAccounting:
+    def test_abandoned_iterator_still_advances_epoch(self, tiny_entries):
+        """Regression: breaking out mid-epoch must not replay the same
+        shuffle order on the next pass."""
+        ds = StructureDataset(tiny_entries)
+        loader = DataLoader(ds, batch_size=6, seed=3)
+        first = next(iter(loader))  # abandon mid-epoch
+        assert loader.epoch == 1
+        second = next(iter(loader))
+        assert loader.epoch == 2
+        assert not np.array_equal(first.species, second.species)
+
+    def test_partial_epochs_follow_full_epoch_sequence(self, tiny_entries):
+        """First batches seen by break-out consumers match the first batches
+        of consecutive full epochs."""
+        ds = StructureDataset(tiny_entries)
+        partial = DataLoader(ds, batch_size=6, seed=9)
+        full = DataLoader(ds, batch_size=6, seed=9)
+        partial_firsts = [next(iter(partial)).feature_number for _ in range(3)]
+        full_firsts = [[b.feature_number for b in full][0] for _ in range(3)]
+        assert partial_firsts == full_firsts
+
+    def test_sharded_loader_abandoned_iterator_advances(self, tiny_entries):
+        ds = StructureDataset(tiny_entries)
+        loader = ShardedLoader.with_default_sampler(ds, global_batch_size=8, world_size=2)
+        next(iter(loader))
+        assert loader.epoch == 1
+
+
+class TestMemoizedCollate:
+    def test_same_indices_return_same_object(self, tiny_entries):
+        ds = StructureDataset(tiny_entries, memoize_batches=True)
+        assert ds.batch([0, 2, 4]) is ds.batch([0, 2, 4])
+        assert ds.batch([0, 2, 4]) is not ds.batch([4, 2, 0])
+
+    def test_memoization_off_by_default(self, tiny_entries):
+        ds = StructureDataset(tiny_entries)
+        assert ds.batch([0, 1]) is not ds.batch([0, 1])
+
+    def test_per_call_override(self, tiny_entries):
+        ds = StructureDataset(tiny_entries)
+        assert ds.batch([1, 3], memoize=True) is ds.batch([1, 3], memoize=True)
+
+    def test_memoized_batch_matches_fresh(self, tiny_entries):
+        ds = StructureDataset(tiny_entries, memoize_batches=True)
+        cached = ds.batch([0, 1, 2])
+        fresh = StructureDataset(tiny_entries).batch([0, 1, 2])
+        assert np.array_equal(cached.species, fresh.species)
+        assert np.array_equal(cached.forces, fresh.forces)
+
+    def test_no_shuffle_loader_reuses_batches(self, tiny_entries):
+        ds = StructureDataset(tiny_entries)
+        loader = DataLoader(ds, batch_size=6, shuffle=False, memoize=True)
+        first = list(loader)
+        second = list(loader)
+        assert all(a is b for a, b in zip(first, second))
+
+    def test_subset_gets_fresh_cache(self, tiny_entries):
+        ds = StructureDataset(tiny_entries, memoize_batches=True)
+        ds.batch([0, 1])
+        sub = ds.subset(np.arange(4))
+        assert sub.memoize_batches
+        assert sub._batch_cache == {}
+
+    def test_loader_memoize_false_overrides_dataset(self, tiny_entries):
+        """Tri-state: an explicit memoize=False forces re-collation even on
+        a memoizing dataset (so shuffled loaders don't grow its cache)."""
+        ds = StructureDataset(tiny_entries, memoize_batches=True)
+        loader = DataLoader(ds, batch_size=6, shuffle=False, memoize=False)
+        first = list(loader)
+        second = list(loader)
+        assert all(a is not b for a, b in zip(first, second))
+        assert ds._batch_cache == {}
+
+    def test_sharded_factory_forwards_memoize(self, tiny_entries):
+        ds = StructureDataset(tiny_entries)
+        loader = ShardedLoader.with_default_sampler(
+            ds, global_batch_size=8, world_size=2, memoize=True
+        )
+        assert loader.memoize is True
