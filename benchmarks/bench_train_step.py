@@ -1,0 +1,189 @@
+"""Train-step benchmark: eager tape vs compile-once replay.
+
+Measures the compile-once training step (:mod:`repro.tensor.compile`)
+against the eager engine across the Fig. 8 optimization ladder — BASELINE
+through FUSED exercise the derivative (double-backward) force/stress path
+"without heads", DECOMPOSE_FS is the Force/Stress-head variant — on two
+workloads:
+
+* ``medium`` — the headline workload: a training-shaped batch where the
+  tape bookkeeping the compiler removes (graph recording, VJP re-derivation,
+  per-op dispatch, allocations) is a large share of the step.
+* ``large`` — bigger graphs/features where NumPy kernel time dominates;
+  reported to show the honest bound of replay gains on this substrate.
+
+Per level the benchmark reports steps/s (eager vs compiled replay), the
+kernel launches per step (fused chains count as one launch), the captured
+vs compiled instruction counts (dead-code elimination + fusion), the arena
+size, and a bitwise-equality check (one validated replay per level; the
+run aborts if replay diverges from eager).
+
+Writes ``BENCH_train_step.json`` (and a markdown table) under
+``benchmarks/out/``.  ``--smoke`` shrinks sizes/repeats so the whole run
+takes seconds; the tier-1 suite executes that mode end-to-end.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_train_step.py [--smoke]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import time
+
+import numpy as np
+
+from repro.bench.reporting import emit, format_table, output_dir
+from repro.data.dataset import StructureDataset
+from repro.data.mptrj import generate_mptrj
+from repro.model import CHGNetConfig, CHGNetModel, OptLevel
+from repro.runtime import device_profile
+from repro.tensor.compile import StepCompiler
+from repro.train.loss import CompositeLoss
+
+WORKLOADS = {
+    "medium": {"structures": 8, "max_atoms": 4, "batch_size": 4, "dim": 8},
+    "large": {"structures": 8, "max_atoms": 8, "batch_size": 8, "dim": 16},
+}
+
+
+def _config(dim: int) -> CHGNetConfig:
+    return CHGNetConfig(
+        atom_fea_dim=dim,
+        bond_fea_dim=dim,
+        angle_fea_dim=dim,
+        num_radial=7,
+        angular_order=3,
+        hidden_dim=dim,
+    )
+
+
+def _steps_per_s(step_fn, n_steps: int) -> float:
+    best = float("inf")
+    for _ in range(2):
+        t0 = time.perf_counter()
+        for _ in range(n_steps):
+            step_fn()
+        best = min(best, (time.perf_counter() - t0) / n_steps)
+    return 1.0 / best
+
+
+def bench_level(level: OptLevel, workload: dict, n_steps: int) -> dict:
+    entries = generate_mptrj(
+        workload["structures"], seed=3, max_atoms=workload["max_atoms"]
+    )
+    ds = StructureDataset(entries)
+    batch = ds.batch(list(range(workload["batch_size"])))
+    model = CHGNetModel(
+        _config(workload["dim"]).with_level(level), np.random.default_rng(1)
+    )
+    loss_fn = CompositeLoss()
+
+    def eager_step():
+        model.zero_grad()
+        out = model.forward(batch, training=True)
+        loss_fn(out, batch).loss.backward()
+
+    # Bitwise equality: a validating compiler raises if any replayed loss,
+    # prediction or parameter gradient differs from eager by a single bit.
+    checker = StepCompiler(model, loss_fn, validate=True)
+    checker.step(batch)
+    checker.step(batch)
+    bitwise_equal = checker.stats.replays >= 1
+    checker.release()
+
+    eager_step()  # warm
+    eager_sps = _steps_per_s(eager_step, n_steps)
+    with device_profile() as eager_prof:
+        eager_step()
+
+    comp = StepCompiler(model, loss_fn)
+    comp.step(batch)  # capture
+    comp.step(batch)  # warm replay
+    compiled_sps = _steps_per_s(lambda: comp.step(batch), n_steps)
+    with device_profile() as compiled_prof:
+        comp.step(batch)
+    prog = next(iter(comp._programs.values()))
+    row = {
+        "level": level.name,
+        "use_heads": bool(model.config.use_heads),
+        "eager_steps_per_s": eager_sps,
+        "compiled_steps_per_s": compiled_sps,
+        "speedup": compiled_sps / eager_sps,
+        "eager_kernels_per_step": eager_prof.kernels.count,
+        "compiled_kernels_per_step": compiled_prof.kernels.count,
+        "instrs_captured": prog.n_instrs_captured,
+        "instrs_compiled": prog.n_instrs,
+        "arena_mib": comp.arena_bytes / (1024.0 * 1024.0),
+        "bitwise_equal": bitwise_equal,
+        "stats": comp.stats.as_dict(),
+    }
+    comp.release()
+    return row
+
+
+def run_workload(name: str, smoke: bool) -> dict:
+    workload = dict(WORKLOADS[name])
+    n_steps = 3 if smoke else 10
+    rows = [bench_level(level, workload, n_steps) for level in OptLevel]
+    return {"params": workload, "levels": rows}
+
+
+def main(argv: list[str] | None = None) -> dict:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--smoke", action="store_true", help="seconds-long run")
+    parser.add_argument("--out", default=None, help="JSON output path")
+    args = parser.parse_args(argv)
+
+    names = ["medium"] if args.smoke else ["medium", "large"]
+    results = {
+        "mode": "smoke" if args.smoke else "full",
+        "workloads": {name: run_workload(name, args.smoke) for name in names},
+    }
+    medium = results["workloads"]["medium"]["levels"]
+    results["medium_max_speedup"] = max(r["speedup"] for r in medium)
+    results["medium_all_bitwise_equal"] = all(r["bitwise_equal"] for r in medium)
+
+    out_path = args.out or (output_dir() / "BENCH_train_step.json")
+    with open(out_path, "w") as fh:
+        json.dump(results, fh, indent=2)
+
+    for name, data in results["workloads"].items():
+        rows = [
+            [
+                r["level"],
+                "yes" if r["use_heads"] else "no",
+                f"{r['eager_steps_per_s']:.2f}",
+                f"{r['compiled_steps_per_s']:.2f}",
+                f"{r['speedup']:.2f}x",
+                f"{r['eager_kernels_per_step']}",
+                f"{r['compiled_kernels_per_step']}",
+                "bit-equal" if r["bitwise_equal"] else "DIVERGED",
+            ]
+            for r in data["levels"]
+        ]
+        emit(
+            f"train_step_{name}",
+            format_table(
+                [
+                    "level",
+                    "heads",
+                    "eager steps/s",
+                    "compiled steps/s",
+                    "speedup",
+                    "eager kernels",
+                    "compiled kernels",
+                    "replay check",
+                ],
+                rows,
+                title=f"Compile-once training step ({name} workload)",
+            ),
+        )
+    print(f"wrote {out_path}")
+    return results
+
+
+if __name__ == "__main__":
+    main()

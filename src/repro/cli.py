@@ -27,6 +27,20 @@ def _add_train(sub: argparse._SubParsersAction) -> None:
     p.add_argument("--scale-lr", action="store_true", help="apply the Eq. 14 scaling rule")
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("--checkpoint", default="", help="save trained weights to this .npz path")
+    p.add_argument(
+        "--compile",
+        action="store_true",
+        help="compile-once training steps: pad batches to shape buckets, "
+        "capture the forward/loss/backward tape per bucket and replay it "
+        "with arena buffers and fused kernels (bit-identical gradients, "
+        "automatic eager fallback)",
+    )
+    p.add_argument(
+        "--n-workers",
+        type=int,
+        default=None,
+        help="worker threads for dataset graph construction (default: serial)",
+    )
 
 
 def _add_md(sub: argparse._SubParsersAction) -> None:
@@ -43,6 +57,13 @@ def _add_md(sub: argparse._SubParsersAction) -> None:
         default=0.0,
         help="Verlet skin radius in angstroms (model calculators only): reuse "
         "the neighbor search across steps until an atom moves > skin/2",
+    )
+    p.add_argument(
+        "--compile",
+        action="store_true",
+        help="compiled MD inference (model calculators only): capture the "
+        "model evaluation tape once per graph-shape bucket and replay it "
+        "each step instead of re-taping the model",
     )
 
 
@@ -75,7 +96,7 @@ def cmd_train(args: argparse.Namespace) -> int:
     from repro.train import TrainConfig, Trainer, evaluate
 
     entries = generate_mptrj(args.structures, seed=args.seed, max_atoms=args.max_atoms)
-    splits = split_dataset(entries, seed=args.seed)
+    splits = split_dataset(entries, seed=args.seed, n_workers=args.n_workers)
     rng = np.random.default_rng(args.seed + 7)
     if args.variant == "chgnet":
         model = CHGNet(rng)
@@ -94,9 +115,16 @@ def cmd_train(args: argparse.Namespace) -> int:
             learning_rate=args.lr,
             scale_lr=args.scale_lr,
             seed=args.seed,
+            compile=args.compile,
         ),
     )
     trainer.train(verbose=True)
+    if args.compile and trainer.compiler is not None:
+        stats = trainer.compiler.stats
+        print(
+            f"compiled steps: {stats.replays} replays / {stats.captures} captures "
+            f"/ {stats.eager_fallbacks} eager fallbacks"
+        )
     result, _ = evaluate(model, splits.test)
     print("| model | E (meV/atom) | F (meV/A) | S | M (m-muB) |")
     print(result.row(args.variant))
@@ -115,13 +143,15 @@ def cmd_md(args: argparse.Namespace) -> int:
     if args.calculator == "oracle":
         if args.skin:
             print("warning: --skin only applies to model calculators; ignored")
+        if args.compile:
+            print("warning: --compile only applies to model calculators; ignored")
         calc = OracleCalculator()
     else:
         rng = np.random.default_rng(0)
         model = FastCHGNet(rng) if args.calculator == "fast" else CHGNet(rng)
         if args.checkpoint:
             model.load(args.checkpoint)
-        calc = ModelCalculator(model, skin=args.skin)
+        calc = ModelCalculator(model, skin=args.skin, compile=args.compile)
     md = MolecularDynamics(
         crystal, calc, timestep_fs=args.timestep, temperature_k=args.temperature, seed=0
     )

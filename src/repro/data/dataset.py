@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass
 
 import numpy as np
@@ -78,16 +79,43 @@ class DatasetSplits:
     test: "StructureDataset"
 
 
+def _build_graphs(
+    entries: list[LabeledStructure],
+    cutoff_atom: float,
+    cutoff_bond: float,
+    n_workers: int | None,
+) -> list[CrystalGraph]:
+    """Build one graph per entry, optionally through a worker pool.
+
+    ``n_workers`` > 1 fans the per-structure graph construction out to a
+    thread pool (the heavy parts — neighbor search, sorting, the vectorized
+    angle assembly — run in NumPy's C loops, which release the GIL).  Order
+    and results are identical to the serial build.
+    """
+    if not n_workers or n_workers <= 1 or len(entries) < 2:
+        return [build_graph(e.crystal, cutoff_atom, cutoff_bond) for e in entries]
+    from concurrent.futures import ThreadPoolExecutor
+
+    with ThreadPoolExecutor(max_workers=n_workers) as pool:
+        return list(
+            pool.map(lambda e: build_graph(e.crystal, cutoff_atom, cutoff_bond), entries)
+        )
+
+
 class StructureDataset:
     """Labeled structures with graphs precomputed once (as reference CHGNet does).
 
     ``memoize_batches`` turns on collate memoization: repeated :meth:`batch`
     calls with an identical index tuple return the same assembled
     :class:`GraphBatch` object instead of re-collating.  This pays off for
-    fixed index sets — eval loaders with ``shuffle=False``, static shards —
-    and is off by default because shuffled training loaders never repeat a
-    tuple (the cache would only grow).  Cached batches are shared; callers
-    must treat them as read-only.
+    fixed index sets — eval loaders with ``shuffle=False``, static shards.
+    Passing an ``int`` bounds the cache with that many entries (LRU
+    eviction), which makes memoization safe to leave on under shuffled
+    loaders too; ``True`` keeps the cache unbounded and is off by default.
+    Cached batches are shared; callers must treat them as read-only.
+
+    ``n_workers`` parallelizes the one-time graph construction (see
+    :func:`_build_graphs`); the default stays serial.
     """
 
     def __init__(
@@ -95,7 +123,8 @@ class StructureDataset:
         entries: list[LabeledStructure],
         cutoff_atom: float = 6.0,
         cutoff_bond: float = 3.0,
-        memoize_batches: bool = False,
+        memoize_batches: bool | int = False,
+        n_workers: int | None = None,
     ) -> None:
         if not entries:
             raise ValueError("dataset must contain at least one entry")
@@ -103,14 +132,20 @@ class StructureDataset:
         self.cutoff_atom = cutoff_atom
         self.cutoff_bond = cutoff_bond
         self.memoize_batches = memoize_batches
-        self._batch_cache: dict[tuple[int, ...], object] = {}
-        self.graphs: list[CrystalGraph] = [
-            build_graph(e.crystal, cutoff_atom, cutoff_bond) for e in entries
-        ]
+        self._batch_cache: OrderedDict[tuple[int, ...], object] = OrderedDict()
+        self.graphs: list[CrystalGraph] = _build_graphs(
+            entries, cutoff_atom, cutoff_bond, n_workers
+        )
         self.feature_numbers = np.array([g.feature_number for g in self.graphs])
 
     def __len__(self) -> int:
         return len(self.entries)
+
+    @property
+    def _cache_cap(self) -> int | None:
+        """Max memoized batches (None: unbounded)."""
+        cap = self.memoize_batches
+        return cap if isinstance(cap, int) and not isinstance(cap, bool) else None
 
     def labels(self, i: int) -> Labels:
         return self.entries[i].labels
@@ -119,20 +154,24 @@ class StructureDataset:
         """Collate the given entries into a :class:`GraphBatch`.
 
         ``memoize`` overrides the dataset-level ``memoize_batches`` default
-        for this call.
+        for this call (the dataset-level value still provides the LRU cap).
         """
         key = tuple(int(i) for i in indices)
         if memoize is None:
-            memoize = self.memoize_batches
+            memoize = bool(self.memoize_batches)
         if memoize:
             cached = self._batch_cache.get(key)
             if cached is not None:
+                self._batch_cache.move_to_end(key)
                 return cached
         batch = collate(
             [self.graphs[i] for i in key], [self.entries[i].labels for i in key]
         )
         if memoize:
             self._batch_cache[key] = batch
+            cap = self._cache_cap
+            if cap is not None and len(self._batch_cache) > cap:
+                self._batch_cache.popitem(last=False)
         return batch
 
     def subset(self, indices: np.ndarray) -> "StructureDataset":
@@ -141,7 +180,7 @@ class StructureDataset:
         ds.cutoff_atom = self.cutoff_atom
         ds.cutoff_bond = self.cutoff_bond
         ds.memoize_batches = self.memoize_batches
-        ds._batch_cache = {}
+        ds._batch_cache = OrderedDict()
         ds.graphs = [self.graphs[int(i)] for i in indices]
         ds.feature_numbers = self.feature_numbers[indices]
         return ds
@@ -154,6 +193,7 @@ def split_dataset(
     normalize: bool = True,
     cutoff_atom: float = 6.0,
     cutoff_bond: float = 3.0,
+    n_workers: int | None = None,
 ) -> DatasetSplits:
     """Shuffle, split 0.9/0.05/0.05 and (optionally) normalize energies."""
     if abs(sum(fractions) - 1.0) > 1e-9:
@@ -177,7 +217,7 @@ def split_dataset(
         val = normalizer.transform(val)
         test = normalizer.transform(test)
     return DatasetSplits(
-        train=StructureDataset(train, cutoff_atom, cutoff_bond),
-        val=StructureDataset(val, cutoff_atom, cutoff_bond),
-        test=StructureDataset(test, cutoff_atom, cutoff_bond),
+        train=StructureDataset(train, cutoff_atom, cutoff_bond, n_workers=n_workers),
+        val=StructureDataset(val, cutoff_atom, cutoff_bond, n_workers=n_workers),
+        test=StructureDataset(test, cutoff_atom, cutoff_bond, n_workers=n_workers),
     )

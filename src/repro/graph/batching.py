@@ -10,11 +10,28 @@ allocated once at its final size (known from the offset tables) and filled
 in a single pass over the graphs, with index offsets applied directly into
 the destination slice (``np.add(..., out=...)``) — no per-graph temporary
 copies, no repeated ``np.concatenate``.
+
+Two services back the compile-once training step
+(:mod:`repro.tensor.compile`):
+
+* **Auxiliary arrays** — every batch-derived array the model consumes
+  (float-cast images, per-sample index slices, pad masks, ...) is produced
+  by :meth:`GraphBatch.aux` and cached on the batch.  A captured tape can
+  therefore name each such array and rebind it on a *different* batch at
+  replay time; :meth:`GraphBatch.find_array` is the reverse lookup the
+  tracer uses.
+* **Shape bucketing** — :func:`pad_to_bucket` appends one ghost structure
+  that pads the atom/edge/angle counts up to canonical bucket sizes
+  (:func:`bucket_size`), so batches of similar size share one compiled
+  program.  ``pad_info`` records the real counts; the ghost rows sit at the
+  array tails, carry finite well-conditioned geometry (no zero-length
+  bonds, no degenerate angles), and are masked out of losses and metrics.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Callable
 
 import numpy as np
 
@@ -38,6 +55,17 @@ class Labels:
             raise ValueError(f"stress shape {self.stress.shape} != (3, 3)")
         if self.magmom.shape != (n_atoms,):
             raise ValueError(f"magmom shape {self.magmom.shape} != ({n_atoms},)")
+
+
+@dataclass(frozen=True)
+class PadInfo:
+    """Real (pre-padding) counts of a bucketed batch; see :func:`pad_to_bucket`."""
+
+    num_structs: int
+    num_atoms: int
+    num_edges: int
+    num_short_edges: int
+    num_angles: int
 
 
 @dataclass
@@ -76,6 +104,10 @@ class GraphBatch:
     forces: np.ndarray | None = None  # (n, 3)
     stress: np.ndarray | None = None  # (s, 3, 3)
     magmom: np.ndarray | None = None  # (n,)
+    # real counts when this batch was padded to a bucket (else None)
+    pad_info: PadInfo | None = None
+    # cache of derived (auxiliary) arrays, keyed by aux key tuples
+    _aux: dict = field(default_factory=dict, init=False, repr=False, compare=False)
 
     @property
     def num_atoms(self) -> int:
@@ -101,6 +133,158 @@ class GraphBatch:
     @property
     def atoms_per_sample(self) -> np.ndarray:
         return np.diff(self.atom_offsets)
+
+    # ------------------------------------------------------- auxiliary arrays
+    def aux(self, key: tuple) -> np.ndarray:
+        """Derived array for ``key`` (``(kind, *args)``), cached on the batch.
+
+        All batch-derived arrays the model feeds into tensor ops come from
+        here, so the tape compiler can name them (:meth:`find_array`) and
+        recompute them for a different batch on replay.
+        """
+        arr = self._aux.get(key)
+        if arr is None:
+            builder = _AUX_BUILDERS.get(key[0])
+            if builder is None:
+                raise KeyError(f"unknown aux array kind {key[0]!r}")
+            arr = builder(self, *key[1:])
+            self._aux[key] = arr
+        return arr
+
+    def find_array(self, target_id: int) -> tuple | None:
+        """Reverse lookup: the spec of the field/aux array with ``id(...) == target_id``.
+
+        Returns ``("field", name)`` or ``("aux", key)``; ``None`` when the
+        array is not owned by this batch.  Used by the tape tracer to bind
+        batch data symbolically (capture-time only, so a linear scan is fine).
+        """
+        for name in _ARRAY_FIELDS:
+            arr = getattr(self, name)
+            if arr is not None and id(arr) == target_id:
+                return ("field", name)
+        for key, arr in self._aux.items():
+            if id(arr) == target_id:
+                return ("aux", key)
+        return None
+
+    def bound_array(self, spec: tuple) -> np.ndarray:
+        """Resolve a spec produced by :meth:`find_array` on *this* batch."""
+        if spec[0] == "field":
+            arr = getattr(self, spec[1])
+            if arr is None:
+                raise KeyError(f"batch has no {spec[1]!r} array")
+            return arr
+        return self.aux(spec[1])
+
+
+_ARRAY_FIELDS = (
+    "species",
+    "frac",
+    "atom_sample",
+    "lattices",
+    "edge_src",
+    "edge_dst",
+    "edge_image",
+    "edge_sample",
+    "short_idx",
+    "angle_e1",
+    "angle_e2",
+    "angle_center",
+    "angle_sample",
+    "atom_offsets",
+    "edge_offsets",
+    "short_offsets",
+    "angle_offsets",
+    "energy_per_atom",
+    "forces",
+    "stress",
+    "magmom",
+)
+
+
+def _require_pad(batch: GraphBatch) -> PadInfo:
+    if batch.pad_info is None:
+        raise ValueError("pad masks/counts are only defined for padded batches")
+    return batch.pad_info
+
+
+def _pad_mask(batch: GraphBatch, which: str) -> np.ndarray:
+    pi = _require_pad(batch)
+    if which == "struct":
+        mask = np.zeros(batch.num_structs)
+        mask[: pi.num_structs] = 1.0
+        return mask
+    if which == "atom":
+        mask = np.zeros(batch.num_atoms)
+        mask[: pi.num_atoms] = 1.0
+        return mask
+    if which == "atom_col":
+        return _pad_mask(batch, "atom").reshape(-1, 1)
+    if which == "stress":
+        return _pad_mask(batch, "struct").reshape(-1, 1, 1)
+    raise KeyError(f"unknown pad mask {which!r}")
+
+
+def _pad_count(batch: GraphBatch, which: str) -> np.ndarray:
+    pi = _require_pad(batch)
+    counts = {
+        "energy": pi.num_structs,
+        "forces": 3 * pi.num_atoms,
+        "stress": 9 * pi.num_structs,
+        "magmom": pi.num_atoms,
+    }
+    # Must be a true 0-d ndarray: Tensor() wraps ndarrays without copying,
+    # so the aux cache's object identity survives into the tape and the
+    # compiled step rebinds the count per batch (a numpy *scalar* would be
+    # re-wrapped into a fresh array and frozen as a capture-time constant).
+    return np.array(float(counts[which]))
+
+
+def _sample_range(batch: GraphBatch, table: np.ndarray, s: int) -> tuple[int, int]:
+    return int(table[s]), int(table[s + 1])
+
+
+_AUX_BUILDERS: dict[str, Callable] = {
+    # batched-basis (Algorithm 2) operands
+    "frac_col": lambda b: b.frac.reshape(-1, 3, 1),
+    "img_col": lambda b: b.edge_image.astype(np.float64).reshape(-1, 3, 1),
+    "atom_counts": lambda b: b.atoms_per_sample.astype(np.float64),
+    "volumes": lambda b: np.abs(np.linalg.det(b.lattices)),
+    "volumes_col": lambda b: b.aux(("volumes",)).reshape(-1, 1, 1),
+    # per-sample (Algorithm 1) operands
+    "frac_s": lambda b, s: b.frac[slice(*_sample_range(b, b.atom_offsets, s))],
+    "lat_s": lambda b, s: b.lattices[s],
+    "img_s": lambda b, s: b.edge_image[
+        slice(*_sample_range(b, b.edge_offsets, s))
+    ].astype(np.float64),
+    "src_local": lambda b, s: b.edge_src[slice(*_sample_range(b, b.edge_offsets, s))]
+    - b.atom_offsets[s],
+    "dst_local": lambda b, s: b.edge_dst[slice(*_sample_range(b, b.edge_offsets, s))]
+    - b.atom_offsets[s],
+    "short_local": lambda b, s: b.short_idx[slice(*_sample_range(b, b.short_offsets, s))]
+    - b.edge_offsets[s],
+    "ae1": lambda b, s: b.angle_e1[slice(*_sample_range(b, b.angle_offsets, s))]
+    - b.short_offsets[s],
+    "ae2": lambda b, s: b.angle_e2[slice(*_sample_range(b, b.angle_offsets, s))]
+    - b.short_offsets[s],
+    # padding masks and real-element counts (masked losses)
+    "pad_mask": _pad_mask,
+    "pad_count": _pad_count,
+    # padded label views (the real prefix, for metrics)
+    "energy_real": lambda b: b.energy_per_atom[: _require_pad(b).num_structs],
+    "forces_real": lambda b: b.forces[: _require_pad(b).num_atoms],
+    "stress_real": lambda b: b.stress[: _require_pad(b).num_structs],
+    "magmom_real": lambda b: b.magmom[: _require_pad(b).num_atoms],
+}
+
+
+def register_aux(kind: str, builder: Callable) -> None:
+    """Register an auxiliary-array builder (``builder(batch, *args)``).
+
+    Lets model modules contribute derived arrays (e.g. the stress head's
+    lattice dyad) without batching importing model code.
+    """
+    _AUX_BUILDERS[kind] = builder
 
 
 def collate(graphs: list[CrystalGraph], labels: list[Labels] | None = None) -> GraphBatch:
@@ -193,3 +377,171 @@ def collate(graphs: list[CrystalGraph], labels: list[Labels] | None = None) -> G
         batch.stress = stress
         batch.magmom = magmom
     return batch
+
+
+# ------------------------------------------------------------ shape buckets
+# Ghost geometry: one extra structure in a 2.5 A cubic cell whose bonds are
+# unit-cell image vectors — bond length 2.5 A (inside both cutoffs, far from
+# r = 0) and perpendicular angle pairs (cos theta = 0, far from the arccos
+# clip boundaries), so every padded quantity is finite and well-conditioned.
+_GHOST_CELL = 2.5
+_GHOST_SPECIES = 1  # hydrogen: always a valid embedding row
+
+
+def bucket_size(n: int) -> int:
+    """Round ``n`` up to its bucket boundary (geometric steps, <=25% slack)."""
+    if n <= 0:
+        return 0
+    if n <= 8:
+        return 8
+    step = 1 << max(2, n.bit_length() - 3)
+    return ((n + step - 1) // step) * step
+
+
+def feasible_targets(
+    batch: GraphBatch, targets: tuple[int, int, int, int]
+) -> tuple[int, int, int, int]:
+    """Bump raw padding targets so :func:`pad_batch` can satisfy them.
+
+    Ghost consistency: padding needs at least one ghost atom, angle padding
+    needs two distinct-direction ghost short edges (and edges), short-edge
+    padding needs ghost edges.
+    """
+    n, e = batch.num_atoms, batch.num_edges
+    ns, na = batch.num_short_edges, batch.num_angles
+    ta, te, ts, tg = targets
+    ta = max(ta, n + 1)
+    if tg > na:
+        ts = max(ts, ns + 2)
+    if ts > ns:
+        te = max(te, e + 2)
+    return ta, te, ts, tg
+
+
+def bucket_targets(batch: GraphBatch) -> tuple[int, int, int, int]:
+    """Bucketed (atoms, edges, short, angles) targets for ``batch``.
+
+    Counts are rounded up with :func:`bucket_size` and then made feasible
+    via :func:`feasible_targets`.  Returns the raw counts unchanged when no
+    padding is needed.
+    """
+    n, e = batch.num_atoms, batch.num_edges
+    ns, na = batch.num_short_edges, batch.num_angles
+    targets = (bucket_size(n), bucket_size(e), bucket_size(ns), bucket_size(na))
+    if targets == (n, e, ns, na):
+        return targets
+    return feasible_targets(batch, targets)
+
+
+def pad_to_bucket(batch: GraphBatch) -> GraphBatch:
+    """Pad a batch to canonical bucket sizes by appending one ghost structure.
+
+    Batches with equal bucketed counts share one compiled program
+    (:mod:`repro.tensor.compile`).  Returns ``batch`` unchanged when every
+    count already sits on its bucket boundary (or it was padded before).
+    The result's ``pad_info`` holds the real counts; all ghost rows are at
+    the array tails, so the real data is the ``[:real]`` prefix of every
+    array.  Ghost contributions are excluded from losses/metrics via the
+    ``pad_mask``/``pad_count`` aux arrays (exactly zero weight), but padding
+    may reorder float reductions, so padded totals match unpadded ones to
+    rounding, not bit-for-bit.
+    """
+    if batch.pad_info is not None:
+        return batch
+    targets = bucket_targets(batch)
+    if targets == (
+        batch.num_atoms,
+        batch.num_edges,
+        batch.num_short_edges,
+        batch.num_angles,
+    ):
+        return batch
+    padded = pad_batch(batch, *targets)
+    assert padded is not None
+    return padded
+
+
+def pad_batch(
+    batch: GraphBatch, atoms: int, edges: int, short_edges: int, angles: int
+) -> GraphBatch | None:
+    """Pad ``batch`` to exact target counts with one ghost structure.
+
+    The compiled-step managers use this to pad a fresh batch up to the
+    shapes of an *already compiled* program so it can replay it.  Returns
+    ``None`` when the targets are infeasible (no room for the required ghost
+    rows — at least one ghost atom, plus two distinct-direction ghost edges/
+    short edges whenever angles or short edges are padded).
+    """
+    if batch.pad_info is not None:
+        return None
+    n, e = batch.num_atoms, batch.num_edges
+    ns, na = batch.num_short_edges, batch.num_angles
+    ga, ge = atoms - n, edges - e
+    gs, gg = short_edges - ns, angles - na
+    if min(ga - 1, ge, gs, gg) < 0:
+        return None
+    if gg > 0 and (gs < 2 or ge < 2):
+        return None
+    if gs > 0 and ge < 1:
+        return None
+
+    s = batch.num_structs
+    g0 = n  # first ghost atom (global index)
+    e0 = e  # first ghost edge position
+    b0 = ns  # first ghost short-edge position
+
+    species = np.concatenate([batch.species, np.full(ga, _GHOST_SPECIES, dtype=np.int64)])
+    frac = np.concatenate([batch.frac, np.zeros((ga, 3))])
+    atom_sample = np.concatenate([batch.atom_sample, np.full(ga, s, dtype=np.int64)])
+    lattices = np.concatenate([batch.lattices, _GHOST_CELL * np.eye(3)[None]])
+
+    # Ghost edges: self-edges on the first ghost atom through alternating
+    # +x / +y images -> bond vectors (2.5, 0, 0) and (0, 2.5, 0).
+    img = np.zeros((ge, 3), dtype=np.int64)
+    img[0::2, 0] = 1
+    img[1::2, 1] = 1
+    edge_src = np.concatenate([batch.edge_src, np.full(ge, g0, dtype=np.int64)])
+    edge_dst = np.concatenate([batch.edge_dst, np.full(ge, g0, dtype=np.int64)])
+    edge_image = np.concatenate([batch.edge_image, img])
+    edge_sample = np.concatenate([batch.edge_sample, np.full(ge, s, dtype=np.int64)])
+
+    # Ghost short edges cycle over the ghost edges (the first two have
+    # distinct directions); ghost angles pair those two.
+    short_idx = np.concatenate(
+        [batch.short_idx, e0 + (np.arange(gs, dtype=np.int64) % max(ge, 1))]
+    )
+    angle_e1 = np.concatenate([batch.angle_e1, np.full(gg, b0, dtype=np.int64)])
+    angle_e2 = np.concatenate([batch.angle_e2, np.full(gg, b0 + 1, dtype=np.int64)])
+    angle_center = np.concatenate([batch.angle_center, np.full(gg, g0, dtype=np.int64)])
+    angle_sample = np.concatenate([batch.angle_sample, np.full(gg, s, dtype=np.int64)])
+
+    def _extend(table: np.ndarray, total: int) -> np.ndarray:
+        return np.concatenate([table, np.array([total], dtype=table.dtype)])
+
+    padded = GraphBatch(
+        num_structs=s + 1,
+        species=species,
+        frac=frac,
+        atom_sample=atom_sample,
+        lattices=lattices,
+        edge_src=edge_src,
+        edge_dst=edge_dst,
+        edge_image=edge_image,
+        edge_sample=edge_sample,
+        short_idx=short_idx,
+        angle_e1=angle_e1,
+        angle_e2=angle_e2,
+        angle_center=angle_center,
+        angle_sample=angle_sample,
+        atom_offsets=_extend(batch.atom_offsets, n + ga),
+        edge_offsets=_extend(batch.edge_offsets, e + ge),
+        short_offsets=_extend(batch.short_offsets, ns + gs),
+        angle_offsets=_extend(batch.angle_offsets, na + gg),
+        pad_info=PadInfo(s, n, e, ns, na),
+    )
+    if batch.energy_per_atom is not None:
+        padded.energy_per_atom = np.concatenate([batch.energy_per_atom, np.zeros(1)])
+        padded.forces = np.concatenate([batch.forces, np.zeros((ga, 3))])
+        padded.stress = np.concatenate([batch.stress, np.zeros((1, 3, 3))])
+        padded.magmom = np.concatenate([batch.magmom, np.zeros(ga)])
+    return padded

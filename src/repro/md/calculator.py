@@ -56,9 +56,19 @@ class ModelCalculator(Calculator):
     ``skin`` (angstroms) enables Verlet skin-list reuse of the neighbor
     search across calls; ``0`` rebuilds the full graph every call (the
     seed's step-by-step behavior).
+
+    ``compile=True`` evaluates through a compiled tape
+    (:class:`repro.tensor.compile.InferenceCompiler`): single-point batches
+    are padded to shape buckets, so consecutive MD steps — whose graph sizes
+    drift by a few short-edge membership flips — mostly replay one cached
+    program instead of re-taping the model per step.  Replays are
+    bit-identical to eager on the same padded batch; padding itself may
+    reorder float reductions (rounding-level differences vs ``compile=False``).
     """
 
-    def __init__(self, model: CHGNetModel, skin: float = 0.0) -> None:
+    def __init__(
+        self, model: CHGNetModel, skin: float = 0.0, compile: bool = False
+    ) -> None:
         if skin < 0:
             raise ValueError(f"skin must be non-negative, got {skin}")
         self.model = model
@@ -66,6 +76,11 @@ class ModelCalculator(Calculator):
         self._cache = (
             NeighborCache(model.config.cutoff_atom, skin) if skin > 0 else None
         )
+        self._compiler = None
+        if compile:
+            from repro.tensor.compile import InferenceCompiler
+
+            self._compiler = InferenceCompiler(model)
 
     def calculate(self, crystal: Crystal) -> CalcResult:
         nl = self._cache.query(crystal) if self._cache is not None else None
@@ -79,6 +94,15 @@ class ModelCalculator(Calculator):
                 )
             ]
         )
+        if self._compiler is not None:
+            out = self._compiler.run(batch)
+            energy = float(out["energy"][0]) * crystal.num_atoms
+            return CalcResult(
+                energy=energy,
+                forces=out["forces"].copy(),
+                stress=out["stress"][0].copy(),
+                magmom=out["magmom"].copy(),
+            )
         if self.model.config.use_heads:
             with no_grad():
                 out = self.model.forward(batch, training=False)

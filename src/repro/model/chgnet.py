@@ -135,7 +135,7 @@ class CHGNetModel(Module):
                 retain_graph=True,
             )
             forces = neg(gd)
-            vols = Tensor(geo.volumes.reshape(-1, 1, 1))
+            vols = Tensor(batch.aux(("volumes_col",)))
             stress = div(gs, vols)
 
         return ModelOutput(

@@ -74,10 +74,14 @@ def _effective_lattices(
     Returns the per-sample list (Algorithm 1 consumers) and, when a strain
     tensor exists, ``None`` for the batched form — callers in batched mode
     build it themselves to keep kernel accounting honest.
+
+    Batch-derived operands are fetched through ``batch.aux`` (here and in
+    the geometry passes below) so a captured tape can rebind them to a new
+    batch on compiled replay; see :mod:`repro.tensor.compile`.
     """
     lattices = []
     for s in range(batch.num_structs):
-        lat = Tensor(batch.lattices[s])
+        lat = Tensor(batch.aux(("lat_s", s)))
         if strain is not None:
             eps = slice_(strain, (s,))
             lat = matmul(lat, add(Tensor(np.eye(3)), eps))
@@ -131,14 +135,14 @@ def _geometry_serial(
         g0, g1 = batch.angle_offsets[s], batch.angle_offsets[s + 1]
         lat = lattices[s]
 
-        frac = Tensor(batch.frac[a0:a1])
+        frac = Tensor(batch.aux(("frac_s", s)))
         cart = matmul(frac, lat)
         if disp is not None:
             cart = add(cart, slice_(disp, (slice(int(a0), int(a1)),)))
 
-        src_local = batch.edge_src[e0:e1] - a0
-        dst_local = batch.edge_dst[e0:e1] - a0
-        img = Tensor(batch.edge_image[e0:e1].astype(np.float64))
+        src_local = batch.aux(("src_local", s))
+        dst_local = batch.aux(("dst_local", s))
+        img = Tensor(batch.aux(("img_s", s)))
         img_cart = matmul(img, lat)
         ri = gather_rows(cart, src_local)
         rj = add(gather_rows(cart, dst_local), img_cart)
@@ -148,14 +152,14 @@ def _geometry_serial(
         vec_list.append(vec)
 
         # bond graph of this sample
-        short_local = batch.short_idx[s0:s1] - e0
         if s1 > s0:
+            short_local = batch.aux(("short_local", s))
             vec_short = gather_rows(vec, short_local)
             d_short = gather_rows(d, short_local)
             d3_list.append(d_short)
             if g1 > g0:  # "if angle nums != 0" guard of Algorithm 1
-                ae1 = batch.angle_e1[g0:g1] - s0
-                ae2 = batch.angle_e2[g0:g1] - s0
+                ae1 = batch.aux(("ae1", s))
+                ae2 = batch.aux(("ae2", s))
                 theta_list.append(_bond_angles(vec_short, d_short, ae1, ae2))
 
     d6 = concat(d_list, axis=0)
@@ -169,7 +173,7 @@ def _geometry_serial(
         theta=theta,
         disp=disp,
         strain=strain,
-        volumes=np.abs(np.linalg.det(batch.lattices)),
+        volumes=batch.aux(("volumes",)),
     )
 
 
@@ -189,7 +193,7 @@ def _geometry_parallel(
     # The row-times-matrix products are expressed as broadcast-multiply +
     # sum: one vectorized pass instead of n tiny per-item GEMMs.
     lat_per_atom = gather_rows(lat_eff, batch.atom_sample)  # (n, 3, 3)
-    frac = Tensor(batch.frac.reshape(-1, 3, 1))
+    frac = Tensor(batch.aux(("frac_col",)))
     cart = tsum(mul(frac, lat_per_atom), axis=1)  # (n, 3)
     if disp is not None:
         cart = add(cart, disp)
@@ -200,9 +204,8 @@ def _geometry_parallel(
     # grows as O(n_edges * samples) zeros, so we compute the numerically
     # identical batched product via a per-edge lattice gather instead (the
     # sparse-aware formulation any production implementation uses).
-    nb = batch.num_edges
     lat_per_edge = gather_rows(lat_eff, batch.edge_sample)  # (nb, 3, 3)
-    img = Tensor(batch.edge_image.astype(np.float64).reshape(nb, 3, 1))
+    img = Tensor(batch.aux(("img_col",)))
     offsets = tsum(mul(img, lat_per_edge), axis=1)  # (nb, 3)
 
     ri = gather_rows(cart, batch.edge_src)
@@ -228,5 +231,5 @@ def _geometry_parallel(
         theta=theta,
         disp=disp,
         strain=strain,
-        volumes=np.abs(np.linalg.det(batch.lattices)),
+        volumes=batch.aux(("volumes",)),
     )

@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.graph.batching import GraphBatch
+from repro.graph.batching import GraphBatch, register_aux
 from repro.model.config import CHGNetConfig
 from repro.tensor import Tensor, div, mul, reshape, segment_sum
 from repro.tensor.module import MLP, Module, Parameter
@@ -29,7 +29,7 @@ class EnergyHead(Module):
     def forward(self, v: Tensor, batch: GraphBatch) -> tuple[Tensor, Tensor]:
         site = reshape(self.mlp(v), (batch.num_atoms,))
         per_struct = segment_sum(site, batch.atom_sample, batch.num_structs)
-        counts = Tensor(batch.atoms_per_sample.astype(np.float64))
+        counts = Tensor(batch.aux(("atom_counts",)))
         return site, div(per_struct, counts)
 
 
@@ -86,6 +86,9 @@ class StressHead(Module):
     def forward(self, v: Tensor, batch: GraphBatch) -> Tensor:
         contrib = self.mlp(v)  # (n, 9)
         summed = segment_sum(contrib, batch.atom_sample, batch.num_structs)
-        dyad = Tensor(self.lattice_dyad(batch.lattices))
+        dyad = Tensor(batch.aux(("lattice_dyad",)))
         sigma = mul(mul(summed, self.scale), dyad)
         return reshape(sigma, (batch.num_structs, 3, 3))
+
+
+register_aux("lattice_dyad", lambda batch: StressHead.lattice_dyad(batch.lattices))

@@ -1,0 +1,984 @@
+"""Compile-once training/inference steps: static tape capture and replay.
+
+The eager engine re-records an identical autograd tape for every batch of a
+given shape: each primitive pays the ``apply_op`` wrapper, a ``Tensor`` and
+``Node`` allocation, tape accounting, VJP re-derivation and a topological
+sort per backward.  FastCHGNet's computation-graph reconstruction
+(Section III-C) rests on the observation that the op graph is *static per
+batch shape*, so all of that bookkeeping can be paid once and replayed.
+
+Capture
+    :class:`TapeTrace` hooks :func:`repro.tensor.engine.apply_op` (via
+    ``push_tracer``) and records one full eager step — forward, loss,
+    backward, including the double-backward force/stress path — as a flat,
+    topologically ordered list of kernel calls (:class:`Instr`).  Every leaf
+    array is classified as a *parameter*, a *named batch array* (a
+    :class:`~repro.graph.batching.GraphBatch` field or ``aux`` entry) or a
+    frozen shape-dependent constant; anything else (e.g. a data-dependent
+    ``where`` condition) raises :class:`TraceUnsupported` and the step
+    permanently falls back to eager for that signature.
+
+Replay
+    :class:`CompiledStep` re-executes the instruction list on rebound batch
+    arrays and live parameter values.  Elementwise chains whose intermediate
+    has a single consumer are fused into one in-place kernel (the compiled
+    analogue of :mod:`repro.tensor.ops_fused`); all other out-capable kernels
+    write into **arena buffers** assigned by liveness analysis, so steady-
+    state replays allocate (almost) nothing; final parameter gradients are
+    accumulated in place into persistent ``.grad`` arrays.  Replayed kernel
+    launches are reported to the runtime profiler exactly like eager ones,
+    and the arena is accounted as retained tape memory.  Replay executes the
+    same NumPy kernels in the same order on the same dtypes as eager, so
+    losses, gradients and MD forces are **bit-identical** to the eager tape.
+
+Managers
+    :class:`StepCompiler` (training: forward + loss + backward + grad write)
+    and :class:`InferenceCompiler` (MD single-point) cache programs per
+    batch-shape signature.  Batches are padded (ghost structure, masked
+    losses) to one canonical shape per geometric **workload tier**, so a
+    shuffled long-tail loader converges to a handful of shared programs
+    instead of compiling every step.  Every replay is guarded: a
+    shape/dtype rebinding mismatch or a changed model/loss configuration
+    evicts the program and falls back to eager.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+import time
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Any, Callable
+
+import numpy as np
+from scipy.special import expit
+
+from repro.graph.batching import (
+    GraphBatch,
+    bucket_targets,
+    feasible_targets,
+    pad_batch,
+    pad_to_bucket,
+)
+from repro.runtime.kernels import profiling_active, record_kernel
+from repro.runtime.memory import record_tape_alloc, record_tape_free
+from repro.tensor.engine import Tensor, no_grad, pop_tracer, push_tracer
+
+
+class TraceUnsupported(RuntimeError):
+    """Raised during capture when a step cannot be replayed safely."""
+
+
+# Ops whose NumPy forward returns a view (or may): their output aliases the
+# input buffer, so liveness treats producer and consumer as one group and
+# replay re-executes the (cheap) view creation instead of arena-writing.
+_ALIAS_OPS = frozenset({"reshape", "transpose", "broadcast_to", "slice"})
+
+
+# ------------------------------------------------------------- out= kernels
+def _linear_out(out, x, w, b):
+    np.matmul(x, w, out=out)
+    np.add(out, b, out=out)
+    return out
+
+
+def _scale_shift_out(out, x, scale, shift):
+    np.multiply(x, scale, out=out)
+    np.add(out, shift, out=out)
+    return out
+
+
+def _silu_out(out, x):
+    expit(x, out=out)
+    np.multiply(out, x, out=out)
+    return out
+
+
+def _segment_sum_out(out, x, idx, num_segments):
+    from repro.tensor.ops_shape import sorted_segment_reduce
+
+    out.fill(0)
+    return sorted_segment_reduce(x, idx, out)
+
+
+def _scatter_slice_out(out, x, shape, index):
+    out.fill(0)
+    out[index] = x
+    return out
+
+
+def _ufunc1(u):
+    return lambda out, a: u(a, out=out)
+
+
+def _ufunc2(u):
+    return lambda out, a, b: u(a, b, out=out)
+
+
+# name -> callable(out_buffer, *input_arrays, **kwargs) writing the result
+# into the buffer.  Every impl computes bit-identically to the eager forward.
+_OUT_IMPLS: dict[str, Callable] = {
+    "add": _ufunc2(np.add),
+    "sub": _ufunc2(np.subtract),
+    "mul": _ufunc2(np.multiply),
+    "div": _ufunc2(np.divide),
+    "maximum": _ufunc2(np.maximum),
+    "minimum": _ufunc2(np.minimum),
+    "ge_mask": _ufunc2(np.greater_equal),
+    "le_mask": _ufunc2(np.less_equal),
+    "neg": _ufunc1(np.negative),
+    "exp": _ufunc1(np.exp),
+    "log": _ufunc1(np.log),
+    "sqrt": _ufunc1(np.sqrt),
+    "sin": _ufunc1(np.sin),
+    "cos": _ufunc1(np.cos),
+    "arccos": _ufunc1(np.arccos),
+    "tanh": _ufunc1(np.tanh),
+    "abs": _ufunc1(np.abs),
+    "sign": _ufunc1(np.sign),
+    "sigmoid": _ufunc1(expit),
+    "silu": _silu_out,
+    "power": lambda out, a, p: np.power(a, p, out=out),
+    "clip": lambda out, a, lo, hi: np.clip(a, lo, hi, out=out),
+    "le_mask_c": lambda out, a, threshold: np.less_equal(a, threshold, out=out),
+    "matmul": lambda out, a, b: np.matmul(a, b, out=out),
+    "linear": _linear_out,
+    "fused_scale_shift": _scale_shift_out,
+    # np.sum delegates to np.add.reduce (same pairwise C path, bit-identical);
+    # calling it directly skips two Python wrapper layers per launch.
+    "sum": lambda out, a, axis=None, keepdims=False: np.add.reduce(
+        a, axis=axis, keepdims=keepdims, out=out
+    ),
+    "concat": lambda out, *xs, axis=0: np.concatenate(xs, axis=axis, out=out),
+    "stack": lambda out, *xs, axis=0: np.stack(xs, axis=axis, out=out),
+    "gather": lambda out, x, idx: np.take(x, idx, axis=0, out=out),
+    "segment_sum": _segment_sum_out,
+    "scatter_slice": _scatter_slice_out,
+}
+
+# Chainable elementwise kernels: same-shape outputs, out= capable, safe to
+# compute in place on the chain buffer.
+_ELEMENTWISE = frozenset(
+    {
+        "add",
+        "sub",
+        "mul",
+        "div",
+        "neg",
+        "exp",
+        "log",
+        "sqrt",
+        "sin",
+        "cos",
+        "arccos",
+        "tanh",
+        "abs",
+        "sign",
+        "maximum",
+        "minimum",
+        "ge_mask",
+        "le_mask",
+        "le_mask_c",
+        "power",
+        "clip",
+        "sigmoid",
+        "silu",
+        "fused_scale_shift",
+    }
+)
+
+_CARRY = -1  # chain-step argument sentinel: the chain buffer itself
+
+
+class Instr:
+    """One replayable kernel call: inputs/output as slot indices."""
+
+    __slots__ = (
+        "name",
+        "fn",
+        "in_slots",
+        "out_slot",
+        "kwargs",
+        "kw_ext",
+        "rkwargs",
+        "alias",
+        "buf",
+        "out_impl",
+        "chain",
+        "shape",
+        "dtype",
+        "nbytes",
+    )
+
+    def __init__(self, name, fn, in_slots, out_slot, kwargs, kw_ext, out):
+        self.name = name
+        self.fn = fn
+        self.in_slots = in_slots
+        self.out_slot = out_slot
+        self.kwargs = kwargs  # ndarray-free (static) kwargs
+        self.kw_ext = kw_ext  # ((key, ext_slot), ...) rebound at bind time
+        self.rkwargs = kwargs  # kwargs used at replay (rebuilt when kw_ext)
+        self.alias = name in _ALIAS_OPS
+        self.buf = -1  # arena buffer id (-1: plain allocation)
+        self.out_impl = None
+        self.chain = None  # fused chain: [(impl, argspec, kwargs), ...]
+        self.shape = out.shape
+        self.dtype = out.dtype
+        self.nbytes = out.nbytes
+
+
+class TapeTrace:
+    """Observer recording every primitive execution of one eager step."""
+
+    def __init__(self, batch: GraphBatch, params: list) -> None:
+        self.batch = batch
+        self.params = params
+        self._param_idx = {id(p.data): i for i, p in enumerate(params)}
+        self._slots: dict[int, int] = {}  # id(ndarray) -> slot
+        self.n_slots = 0
+        self.externals: list[tuple] = []  # (slot, kind, ref, shape, dtype)
+        self.instrs: list[Instr] = []
+        self.grad_writes: list[tuple[int, int]] = []  # (param index, slot)
+        self._keep: list[np.ndarray] = []  # keeps id()s unambiguous
+
+    # ------------------------------------------------------------- resolution
+    def _new_external(self, arr: np.ndarray, allow_const: bool, context: str) -> int:
+        pid = self._param_idx.get(id(arr))
+        if pid is not None:
+            kind, ref = "param", pid
+        else:
+            spec = self.batch.find_array(id(arr))
+            if spec is not None:
+                kind, ref = "batch", spec
+            elif allow_const:
+                # Unknown leaves are frozen: safe because every batch-derived
+                # array reaches ops through GraphBatch fields/aux (resolved
+                # above) — what remains is shape-dependent only (eye/ones/
+                # zeros seeds), and shape is fixed per program signature.
+                kind, ref = "const", arr
+            else:
+                raise TraceUnsupported(
+                    f"{context}: ndarray argument is neither a parameter nor a "
+                    "named batch array; cannot rebind it on replay"
+                )
+        slot = self.n_slots
+        self.n_slots += 1
+        self._slots[id(arr)] = slot
+        self._keep.append(arr)
+        self.externals.append((slot, kind, ref, arr.shape, arr.dtype))
+        return slot
+
+    def _slot_for(self, arr: np.ndarray, allow_const: bool, context: str) -> int:
+        slot = self._slots.get(id(arr))
+        if slot is None:
+            slot = self._new_external(arr, allow_const, context)
+        return slot
+
+    # -------------------------------------------------------- engine callbacks
+    def record(
+        self,
+        name: str,
+        fn: Callable,
+        arrays: tuple[np.ndarray, ...],
+        kwargs: dict[str, Any],
+        out: np.ndarray,
+    ) -> None:
+        in_slots = tuple(self._slot_for(a, True, name) for a in arrays)
+        kw_ext = ()
+        static_kwargs = kwargs
+        for k, v in kwargs.items():
+            if isinstance(v, np.ndarray):
+                kw_ext += ((k, self._slot_for(v, False, f"{name}(kwarg {k!r})")),)
+        if kw_ext:
+            static_kwargs = {
+                k: v for k, v in kwargs.items() if not isinstance(v, np.ndarray)
+            }
+        out_slot = self.n_slots
+        self.n_slots += 1
+        self._slots[id(out)] = out_slot
+        self._keep.append(out)
+        self.instrs.append(
+            Instr(name, fn, in_slots, out_slot, static_kwargs, kw_ext, out)
+        )
+
+    def record_leaf_grad(self, leaf: Tensor, grad: Tensor) -> None:
+        pid = self._param_idx.get(id(leaf.data))
+        if pid is None:
+            return  # disp/strain scratch leaves: eager discards them too
+        slot = self._slots.get(id(grad.data))
+        if slot is None:
+            raise TraceUnsupported("final parameter gradient was not produced on the tape")
+        self.grad_writes.append((pid, slot))
+
+    def slot_of(self, arr: np.ndarray) -> int:
+        slot = self._slots.get(id(arr))
+        if slot is None:
+            raise TraceUnsupported("requested output array was not produced on the tape")
+        return slot
+
+
+class _traced:
+    """Context manager pushing/popping a tracer on the engine."""
+
+    def __init__(self, tracer: TapeTrace) -> None:
+        self.tracer = tracer
+
+    def __enter__(self) -> TapeTrace:
+        push_tracer(self.tracer)
+        return self.tracer
+
+    def __exit__(self, *exc: object) -> None:
+        pop_tracer(self.tracer)
+
+
+class CompiledStep:
+    """A captured tape: flat kernel program + arena + gradient writes."""
+
+    def __init__(
+        self,
+        trace: TapeTrace,
+        outputs: dict[str, int],
+        n_params: int,
+    ) -> None:
+        self.externals = trace.externals
+        self.instrs = trace.instrs
+        self.n_slots = trace.n_slots
+        self.grad_writes = trace.grad_writes
+        self.outputs = outputs
+        written = {pid for pid, _ in trace.grad_writes}
+        self.nograd_params = [i for i in range(n_params) if i not in written]
+        self._slots: list = [None] * self.n_slots
+        self.buffers: list[np.ndarray] = []
+        self.arena_bytes = 0
+        self.n_instrs_captured = len(self.instrs)
+        self._eliminate_dead()
+        self._fuse_elementwise_chains()
+        self._assign_arena()
+        self._prefill_static_slots()
+        self.n_instrs = len(self.instrs)
+        record_tape_alloc(self.arena_bytes)
+        self._released = False
+
+    def release(self) -> None:
+        """Return the arena bytes to the memory tracker."""
+        if not self._released:
+            self._released = True
+            record_tape_free(self.arena_bytes)
+
+    # ----------------------------------------------------------- compilation
+    def _slot_uses(self) -> tuple[dict[int, int], dict[int, int]]:
+        """(last instr index reading each slot, read count per slot).
+
+        Kwarg-bound arrays count as reads too — today those are always
+        externals (never fused or arena-pooled), but liveness must not rely
+        on that staying true.
+        """
+        last: dict[int, int] = {}
+        count: dict[int, int] = {}
+        for t, ins in enumerate(self.instrs):
+            for s in ins.in_slots:
+                last[s] = t
+                count[s] = count.get(s, 0) + 1
+            for _, s in ins.kw_ext:
+                last[s] = t
+                count[s] = count.get(s, 0) + 1
+        return last, count
+
+    def _pinned_slots(self) -> set[int]:
+        pinned = set(self.outputs.values())
+        pinned.update(slot for _, slot in self.grad_writes)
+        return pinned
+
+    def _eliminate_dead(self) -> None:
+        """Drop instructions whose results never reach an output or gradient.
+
+        The eager tape can't avoid this work — e.g. the outer backward pass
+        computes loss cotangents for the displacement/strain scratch leaves
+        that nobody reads — but the compiled program sees the whole step and
+        prunes those chains transitively.  All kept kernels still execute
+        bit-identically.
+        """
+        live = self._pinned_slots()
+        kept: list[Instr] = []
+        for ins in reversed(self.instrs):
+            if ins.out_slot in live:
+                kept.append(ins)
+                live.update(ins.in_slots)
+                live.update(slot for _, slot in ins.kw_ext)
+        kept.reverse()
+        self.instrs = kept
+
+    def _fuse_elementwise_chains(self) -> None:
+        """Collapse single-consumer elementwise chains into one in-place kernel.
+
+        The compiled analogue of the ``ops_fused`` kernels: the chain's
+        intermediate results never materialize outside the chain buffer, and
+        the whole chain is accounted as one launch.  Only adjacent
+        instructions with equal output shape/dtype are merged, so replay
+        executes the identical ufunc sequence (bit-identical results).
+        """
+        last, count = self._slot_uses()
+        pinned = self._pinned_slots()
+        fused: list[Instr] = []
+        for ins in self.instrs:
+            prev = fused[-1] if fused else None
+            if (
+                prev is not None
+                and ins.name in _ELEMENTWISE
+                and (prev.chain is not None or prev.name in _ELEMENTWISE)
+                and prev.out_slot not in pinned
+                and count.get(prev.out_slot) == 1
+                and ins.in_slots.count(prev.out_slot) == 1
+                and prev.shape == ins.shape
+                and prev.dtype == ins.dtype
+                and not ins.kw_ext
+                and not prev.kw_ext
+            ):
+                if prev.chain is None:
+                    first = (_OUT_IMPLS[prev.name], prev.in_slots, prev.kwargs)
+                    prev.name = "fused_chain"
+                    prev.fn = None
+                    prev.kwargs = prev.rkwargs = {}
+                    prev.chain = [first]
+                argspec = tuple(
+                    _CARRY if s == prev.out_slot else s for s in ins.in_slots
+                )
+                prev.chain.append((_OUT_IMPLS[ins.name], argspec, ins.kwargs))
+                prev.in_slots = prev.in_slots + tuple(
+                    s for s in ins.in_slots if s != prev.out_slot
+                )
+                prev.out_slot = ins.out_slot
+                continue
+            fused.append(ins)
+        self.instrs = fused
+
+    def _assign_arena(self) -> None:
+        """Liveness-based buffer reuse for out=-capable kernels.
+
+        View-producing (alias) ops extend the lifetime of their base buffer;
+        pinned slots (program outputs, gradient sources) get dedicated
+        buffers that are never pooled.
+        """
+        last, _ = self._slot_uses()
+        pinned = self._pinned_slots()
+
+        # Union alias groups: view output shares its input's lifetime/base.
+        base: dict[int, int] = {}
+
+        def find(s: int) -> int:
+            while s in base:
+                s = base[s]
+            return s
+
+        for ins in self.instrs:
+            if ins.alias:
+                base[ins.out_slot] = find(ins.in_slots[0])
+        group_last: dict[int, int] = {}
+        group_pinned: set[int] = set()
+        for s, t in last.items():
+            r = find(s)
+            group_last[r] = max(group_last.get(r, -1), t)
+        for s in pinned:
+            group_pinned.add(find(s))
+
+        free_pool: dict[tuple, list[int]] = {}
+        dead: list[tuple[int, int]] = []  # (last_use, buffer id) min-heap
+        for t, ins in enumerate(self.instrs):
+            while dead and dead[0][0] < t:
+                _, buf = heapq.heappop(dead)
+                arr = self.buffers[buf]
+                free_pool.setdefault((arr.shape, arr.dtype), []).append(buf)
+            if ins.alias:
+                continue
+            impl = _OUT_IMPLS.get(ins.name) if ins.chain is None else True
+            if impl is None:
+                continue
+            if ins.chain is None:
+                ins.out_impl = impl
+            key = (ins.shape, ins.dtype)
+            pool = free_pool.get(key)
+            if pool:
+                ins.buf = pool.pop()
+            else:
+                buf_arr = np.empty(ins.shape, dtype=ins.dtype)
+                self.buffers.append(buf_arr)
+                self.arena_bytes += buf_arr.nbytes
+                ins.buf = len(self.buffers) - 1
+            root = find(ins.out_slot)
+            if root not in group_pinned:
+                heapq.heappush(dead, (group_last.get(root, t), ins.buf))
+
+    def _prefill_static_slots(self) -> None:
+        """Materialize replay-invariant slots once, at program-build time.
+
+        Arena-backed outputs always live in the same persistent buffer, so
+        their slot entry never changes; views (reshape/transpose/...) whose
+        transitive base is an arena buffer or a frozen constant are likewise
+        permanent objects — they are computed here once and removed from the
+        replay list entirely.
+        """
+        slots = self._slots
+        static: set[int] = set()
+        for slot, kind, ref, _shape, _dtype in self.externals:
+            if kind == "const":
+                slots[slot] = ref
+                static.add(slot)
+        kept: list[Instr] = []
+        for ins in self.instrs:
+            if ins.buf >= 0:
+                slots[ins.out_slot] = self.buffers[ins.buf]
+                static.add(ins.out_slot)
+                kept.append(ins)
+            elif ins.alias and ins.in_slots[0] in static:
+                slots[ins.out_slot] = ins.fn(slots[ins.in_slots[0]], **ins.kwargs)
+                static.add(ins.out_slot)
+            else:
+                kept.append(ins)
+        self.instrs = kept
+
+    # ------------------------------------------------------------------ bind
+    def bind(self, batch: GraphBatch, params: list) -> str | None:
+        """Rebind external arrays to a new batch/parameter state.
+
+        Returns ``None`` on success or a human-readable guard-failure reason
+        (the caller then falls back to eager).
+        """
+        slots = self._slots
+        for slot, kind, ref, shape, dtype in self.externals:
+            if kind == "param":
+                arr = params[ref].data
+            elif kind == "batch":
+                try:
+                    arr = batch.bound_array(ref)
+                except (KeyError, ValueError, IndexError) as exc:
+                    return f"batch array {ref!r} unavailable: {exc}"
+            else:
+                arr = ref
+            if arr.shape != shape or arr.dtype != dtype:
+                return (
+                    f"external {kind}:{ref!r} changed shape/dtype "
+                    f"({arr.shape}/{arr.dtype} vs {shape}/{dtype})"
+                )
+            slots[slot] = arr
+        for ins in self.instrs:
+            if ins.kw_ext:
+                ins.rkwargs = dict(ins.kwargs)
+                for key, slot in ins.kw_ext:
+                    ins.rkwargs[key] = slots[slot]
+        return None
+
+    # ---------------------------------------------------------------- replay
+    def replay(self) -> None:
+        """Execute the program on the currently bound slots."""
+        if profiling_active():
+            self._replay_profiled()
+        else:
+            self._replay_fast()
+
+    def _run_instr(self, ins: Instr, slots: list) -> np.ndarray:
+        if ins.chain is not None:
+            buf = self.buffers[ins.buf]
+            for impl, argspec, kw in ins.chain:
+                impl(buf, *[buf if a == _CARRY else slots[a] for a in argspec], **kw)
+            return buf
+        args = [slots[s] for s in ins.in_slots]
+        if ins.buf >= 0:
+            return ins.out_impl(self.buffers[ins.buf], *args, **ins.rkwargs)
+        return ins.fn(*args, **ins.rkwargs)
+
+    def _replay_fast(self) -> None:
+        # Arena-backed slots were prefilled with their (permanent) buffers at
+        # build time, so only plain-allocating instructions store results.
+        slots = self._slots
+        buffers = self.buffers
+        for ins in self.instrs:
+            chain = ins.chain
+            if chain is not None:
+                buf = buffers[ins.buf]
+                for impl, argspec, kw in chain:
+                    impl(buf, *[buf if a == _CARRY else slots[a] for a in argspec], **kw)
+            elif ins.buf >= 0:
+                ins.out_impl(
+                    buffers[ins.buf], *[slots[s] for s in ins.in_slots], **ins.rkwargs
+                )
+            else:
+                slots[ins.out_slot] = ins.fn(
+                    *[slots[s] for s in ins.in_slots], **ins.rkwargs
+                )
+
+    def _replay_profiled(self) -> None:
+        slots = self._slots
+        for ins in self.instrs:
+            t0 = time.perf_counter()
+            out = self._run_instr(ins, slots)
+            record_kernel(ins.name, ins.nbytes, time.perf_counter() - t0)
+            slots[ins.out_slot] = out
+
+    def apply_grads(self, params: list) -> None:
+        """Write final gradients in place into persistent ``.grad`` arrays."""
+        slots = self._slots
+        for i in self.nograd_params:
+            params[i].grad = None
+        for pid, slot in self.grad_writes:
+            p = params[pid]
+            g = slots[slot]
+            if p.grad is None:
+                p.grad = Tensor(g.copy())
+            else:
+                np.copyto(p.grad.data, g)
+
+    def output_arrays(self) -> dict[str, np.ndarray]:
+        """The marked outputs; views valid until the next replay."""
+        return {name: self._slots[slot] for name, slot in self.outputs.items()}
+
+
+@dataclass
+class CompileStats:
+    """Counters describing how a compiler handled its steps so far."""
+
+    captures: int = 0
+    replays: int = 0
+    eager_fallbacks: int = 0
+    unsupported: int = 0
+    guard_invalidations: int = 0
+
+    def as_dict(self) -> dict[str, int]:
+        return {
+            "captures": self.captures,
+            "replays": self.replays,
+            "eager_fallbacks": self.eager_fallbacks,
+            "unsupported": self.unsupported,
+            "guard_invalidations": self.guard_invalidations,
+        }
+
+
+def program_signature(batch: GraphBatch, serial: bool, mode: str) -> tuple:
+    """Shape signature keying compiled programs.
+
+    Batched-basis levels depend only on the total counts (per-sample
+    structure enters through rebindable index arrays); the serial Algorithm 1
+    additionally hard-codes per-sample slice bounds, so its signature
+    includes the offset tables.
+    """
+    sig = (
+        mode,
+        batch.num_structs,
+        batch.num_atoms,
+        batch.num_edges,
+        batch.num_short_edges,
+        batch.num_angles,
+        batch.energy_per_atom is not None,
+        batch.pad_info is not None,
+    )
+    if serial:
+        sig += (
+            tuple(batch.atom_offsets.tolist()),
+            tuple(batch.edge_offsets.tolist()),
+            tuple(batch.short_offsets.tolist()),
+            tuple(batch.angle_offsets.tolist()),
+        )
+    return sig
+
+
+# Geometric growth factor between workload tiers: batches whose workload
+# proxy (atoms + edges + short + 2*angles — angle kernels are the widest)
+# falls in the same tier are padded to one shared canonical shape.
+_TIER_GROWTH = 1.4
+
+
+def _workload_cost(atoms: int, edges: int, short: int, angles: int) -> int:
+    return atoms + edges + short + 2 * angles
+
+
+class _CompilerBase:
+    """Program cache + guards shared by the train/inference compilers."""
+
+    def __init__(self, model, bucket: bool, max_programs: int) -> None:
+        self.model = model
+        self.params = model.parameters()
+        self.bucket = bucket
+        self.max_programs = max_programs
+        self._programs: OrderedDict[tuple, CompiledStep] = OrderedDict()
+        self._unsupported: set[tuple] = set()
+        # canonical shape per workload tier: (num_structs, has_labels, tier)
+        # -> running max (atoms, edges, short, angles); see _pad
+        self._canonical: dict[tuple, tuple] = {}
+        self.stats = CompileStats()
+        self._guard = self._guard_token()
+
+    def _guard_token(self) -> tuple:
+        return (self.model.config, len(self.params))
+
+    def _check_guard(self) -> None:
+        token = self._guard_token()
+        if token != self._guard:
+            # Model (or loss) reconfigured since capture: the recorded op
+            # sequence may no longer match — drop everything, recapture.
+            self.stats.guard_invalidations += 1
+            self.release()
+            self._unsupported.clear()
+            self._guard = token
+            self.params = self.model.parameters()
+
+    def _pad(self, batch: GraphBatch) -> GraphBatch:
+        """Pad a batch for program sharing (no-op when ``bucket=False``).
+
+        Independent per-dimension buckets rarely coincide jointly — a
+        shuffled long-tail loader would compile a fresh program nearly every
+        step.  Batches are therefore grouped into geometric **workload
+        tiers** (factor ``_TIER_GROWTH`` in the atoms+edges+angles proxy);
+        each tier keeps one canonical shape, the running elementwise max of
+        its members' bucketed counts.  Shapes grow monotonically and
+        converge after one pass over the data, after which every batch of a
+        tier replays the same program.
+        """
+        if not self.bucket or batch.pad_info is not None:
+            return batch
+        dims = (
+            batch.num_atoms,
+            batch.num_edges,
+            batch.num_short_edges,
+            batch.num_angles,
+        )
+        targets = bucket_targets(batch)
+        if targets == dims:
+            return batch  # already on every boundary; nothing to pad
+        if self.model.config.batched_basis:
+            # Serial (Algorithm 1) programs hard-code per-sample offsets, so
+            # cross-batch sharing is impossible there — tier only here.
+            tier = int(
+                math.log(max(_workload_cost(*dims), 2)) / math.log(_TIER_GROWTH)
+            )
+            key = (batch.num_structs + 1, batch.energy_per_atom is not None, tier)
+            stored = self._canonical.get(key)
+            if stored is not None:
+                # Merging with the tier's canonical shape can re-introduce
+                # padding in a dimension this batch's own targets left alone
+                # (e.g. angles), so the ghost-feasibility bumps must be
+                # re-applied to the merged targets.
+                merged = tuple(max(a, b) for a, b in zip(stored, targets))
+                targets = feasible_targets(batch, merged)
+            self._canonical[key] = targets
+        padded = pad_batch(batch, *targets)
+        assert padded is not None
+        return padded
+
+    def _store(self, sig: tuple, prog: CompiledStep) -> None:
+        self._programs[sig] = prog
+        if len(self._programs) > self.max_programs:
+            _, evicted = self._programs.popitem(last=False)
+            evicted.release()
+
+    def release(self) -> None:
+        """Drop every cached program (returning arena bytes)."""
+        for prog in self._programs.values():
+            prog.release()
+        self._programs.clear()
+        self._canonical.clear()
+
+    @property
+    def arena_bytes(self) -> int:
+        return sum(p.arena_bytes for p in self._programs.values())
+
+
+class StepCompiler(_CompilerBase):
+    """Compile-once manager for full training steps.
+
+    ``step(batch)`` pads the batch to its shape bucket (``bucket=True``),
+    then captures a program on first sight of a signature and replays it
+    afterwards; gradients land in the parameters' ``.grad`` exactly as an
+    eager ``zero_grad + backward`` would leave them (the caller still runs
+    the optimizer).  Any guard failure falls back to the eager step.
+
+    ``validate=True`` re-runs every replayed step eagerly and asserts the
+    loss and all parameter gradients are bit-identical (test harness).
+    """
+
+    def __init__(
+        self,
+        model,
+        loss_fn,
+        bucket: bool = True,
+        max_programs: int = 8,
+        validate: bool = False,
+    ) -> None:
+        self.loss_fn = loss_fn
+        self.validate = validate
+        super().__init__(model, bucket, max_programs)
+
+    def _guard_token(self) -> tuple:
+        return (
+            self.model.config,
+            len(self.params),
+            self.loss_fn.weights,
+            self.loss_fn.delta,
+        )
+
+    def _eager(self, batch: GraphBatch):
+        self.model.zero_grad()
+        output = self.model.forward(batch, training=True)
+        breakdown = self.loss_fn(output, batch)
+        breakdown.loss.backward()
+        return breakdown, output
+
+    def step(self, batch: GraphBatch):
+        """One forward/loss/backward; returns the LossBreakdown."""
+        self._check_guard()
+        batch = self._pad(batch)
+        sig = program_signature(batch, not self.model.config.batched_basis, "train")
+        if sig in self._unsupported:
+            self.stats.eager_fallbacks += 1
+            return self._eager(batch)[0]
+        prog = self._programs.get(sig)
+        if prog is None:
+            try:
+                return self._capture(sig, batch)
+            except TraceUnsupported:
+                self._unsupported.add(sig)
+                self.stats.unsupported += 1
+                self.stats.eager_fallbacks += 1
+                return self._eager(batch)[0]
+        self._programs.move_to_end(sig)
+        reason = prog.bind(batch, self.params)
+        if reason is not None:
+            self._programs.pop(sig)
+            prog.release()
+            self.stats.eager_fallbacks += 1
+            return self._eager(batch)[0]
+        return self._replay(prog, batch)
+
+    def _capture(self, sig: tuple, batch: GraphBatch):
+        trace = TapeTrace(batch, self.params)
+        with _traced(trace):
+            breakdown, output = self._eager(batch)
+        outputs = {
+            "loss": trace.slot_of(breakdown.loss.data),
+            "energy": trace.slot_of(output.energy_per_atom.data),
+            "forces": trace.slot_of(output.forces.data),
+            "stress": trace.slot_of(output.stress.data),
+            "magmom": trace.slot_of(output.magmom.data),
+        }
+        self._store(sig, CompiledStep(trace, outputs, len(self.params)))
+        self.stats.captures += 1
+        return breakdown
+
+    def _replay(self, prog: CompiledStep, batch: GraphBatch):
+        from repro.train.loss import LossBreakdown, batch_metrics
+
+        prog.replay()
+        prog.apply_grads(self.params)
+        outs = prog.output_arrays()
+        self.stats.replays += 1
+        if self.validate:
+            self._validate(prog, batch, outs)
+        e_mae, f_mae, s_mae, m_mae = batch_metrics(
+            outs["energy"], outs["forces"], outs["stress"], outs["magmom"], batch
+        )
+        return LossBreakdown(
+            loss=Tensor(outs["loss"].copy()),
+            energy_mae=e_mae,
+            force_mae=f_mae,
+            stress_mae=s_mae,
+            magmom_mae=m_mae,
+        )
+
+    def _validate(self, prog: CompiledStep, batch: GraphBatch, outs: dict) -> None:
+        replay_loss = outs["loss"].copy()
+        replay_preds = {k: outs[k].copy() for k in ("energy", "forces", "stress", "magmom")}
+        replay_grads = [None if p.grad is None else p.grad.data.copy() for p in self.params]
+        breakdown, output = self._eager(batch)
+        if not np.array_equal(replay_loss, breakdown.loss.data):
+            raise RuntimeError("compiled replay loss diverged from eager")
+        eager_preds = {
+            "energy": output.energy_per_atom.data,
+            "forces": output.forces.data,
+            "stress": output.stress.data,
+            "magmom": output.magmom.data,
+        }
+        for key, arr in replay_preds.items():
+            if not np.array_equal(arr, eager_preds[key]):
+                raise RuntimeError(f"compiled replay {key} diverged from eager")
+        for p, g in zip(self.params, replay_grads):
+            eager_g = None if p.grad is None else p.grad.data
+            same = (
+                g is None and eager_g is None
+            ) or (g is not None and eager_g is not None and np.array_equal(g, eager_g))
+            if not same:
+                raise RuntimeError("compiled replay gradients diverged from eager")
+
+
+class InferenceCompiler(_CompilerBase):
+    """Compile-once manager for single-point (MD) model evaluations.
+
+    ``run(batch)`` returns the four predicted property arrays restricted to
+    the real (un-padded) rows; the views are valid until the next call.
+    """
+
+    def __init__(self, model, bucket: bool = True, max_programs: int = 8) -> None:
+        super().__init__(model, bucket, max_programs)
+
+    def _forward(self, batch: GraphBatch):
+        if self.model.config.use_heads:
+            with no_grad():
+                return self.model.forward(batch, training=False)
+        return self.model.forward(batch, training=False)
+
+    def run(self, batch: GraphBatch) -> dict[str, np.ndarray]:
+        self._check_guard()
+        batch = self._pad(batch)
+        sig = program_signature(batch, not self.model.config.batched_basis, "infer")
+        if sig in self._unsupported:
+            self.stats.eager_fallbacks += 1
+            return self._slice_real(self._output_arrays(self._forward(batch)), batch)
+        prog = self._programs.get(sig)
+        if prog is None:
+            try:
+                trace = TapeTrace(batch, self.params)
+                with _traced(trace):
+                    output = self._forward(batch)
+                outputs = {
+                    "energy": trace.slot_of(output.energy_per_atom.data),
+                    "forces": trace.slot_of(output.forces.data),
+                    "stress": trace.slot_of(output.stress.data),
+                    "magmom": trace.slot_of(output.magmom.data),
+                }
+                self._store(sig, CompiledStep(trace, outputs, len(self.params)))
+                self.stats.captures += 1
+                return self._slice_real(self._output_arrays(output), batch)
+            except TraceUnsupported:
+                self._unsupported.add(sig)
+                self.stats.unsupported += 1
+                self.stats.eager_fallbacks += 1
+                return self._slice_real(self._output_arrays(self._forward(batch)), batch)
+        self._programs.move_to_end(sig)
+        reason = prog.bind(batch, self.params)
+        if reason is not None:
+            self._programs.pop(sig)
+            prog.release()
+            self.stats.eager_fallbacks += 1
+            return self._slice_real(self._output_arrays(self._forward(batch)), batch)
+        prog.replay()
+        self.stats.replays += 1
+        return self._slice_real(prog.output_arrays(), batch)
+
+    @staticmethod
+    def _output_arrays(output) -> dict[str, np.ndarray]:
+        return {
+            "energy": output.energy_per_atom.data,
+            "forces": output.forces.data,
+            "stress": output.stress.data,
+            "magmom": output.magmom.data,
+        }
+
+    @staticmethod
+    def _slice_real(arrs: dict[str, np.ndarray], batch: GraphBatch) -> dict[str, np.ndarray]:
+        pi = batch.pad_info
+        if pi is None:
+            return arrs
+        return {
+            "energy": arrs["energy"][: pi.num_structs],
+            "forces": arrs["forces"][: pi.num_atoms],
+            "stress": arrs["stress"][: pi.num_structs],
+            "magmom": arrs["magmom"][: pi.num_atoms],
+        }

@@ -22,6 +22,17 @@ Design notes
 * Graphs are freed eagerly after :func:`grad`/``backward`` unless
   ``retain_graph=True``; freeing returns the bytes to the memory tracker,
   which is how the decompose_fs memory reduction becomes measurable.
+
+Compiled training steps
+-----------------------
+The op graph of a train/inference step is static per batch shape, so the
+whole tape can be captured once and replayed without any of the per-op
+bookkeeping above.  :mod:`repro.tensor.compile` implements that: a tracer
+registered via :func:`push_tracer` observes every :func:`apply_op`
+execution (and each final leaf-gradient write in :func:`backward`) and
+compiles them into a flat kernel program with arena buffers.  Tracing is
+purely observational — eager semantics, kernel accounting and numerics are
+unchanged while a tracer is active.
 """
 
 from __future__ import annotations
@@ -45,6 +56,25 @@ VjpFn = Callable[..., tuple]
 
 class _GradMode:
     enabled: bool = True
+
+
+# ----------------------------------------------------------------- tracing
+# Tape capture for the compile-once training step (repro.tensor.compile).
+# While a tracer is pushed, every primitive execution in apply_op and every
+# final leaf-gradient write in backward() is reported to it.  Tracing only
+# *observes*: eager numerics, kernel accounting and the recorded graph are
+# unchanged, which is what makes a captured program bit-identical to eager.
+_TRACERS: list[Any] = []
+
+
+def push_tracer(tracer: Any) -> None:
+    """Activate a tape tracer (innermost wins); see repro.tensor.compile."""
+    _TRACERS.append(tracer)
+
+
+def pop_tracer(tracer: Any) -> None:
+    """Deactivate a previously pushed tracer."""
+    _TRACERS.remove(tracer)
 
 
 @contextmanager
@@ -373,6 +403,8 @@ def backward(
         gt = cot.get(id(leaf))
         if gt is None:
             continue
+        if _TRACERS:
+            _TRACERS[-1].record_leaf_grad(leaf, gt)
         if leaf.grad is None:
             leaf.grad = Tensor(gt.data.copy()) if not create_graph else gt
         else:
@@ -410,6 +442,11 @@ def apply_op(
         record_kernel(name, out_data.nbytes, time.perf_counter() - t0)
     else:
         out_data = forward(*arrays, **kwargs)
+    if _TRACERS:
+        # Normalize scalar outputs (0-d ufunc results) to the ndarray the
+        # Tensor below will hold, so the trace's buffer ids line up.
+        out_data = np.asarray(out_data)
+        _TRACERS[-1].record(name, forward, arrays, kwargs, out_data)
     if _GradMode.enabled and any(t.requires_grad for t in inputs):
         out = Tensor(out_data, requires_grad=True)
         out.node = Node(name, vjp, tuple(inputs), kwargs, out)

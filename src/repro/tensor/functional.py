@@ -21,7 +21,7 @@ from repro.tensor.ops_math import (
     sqrt,
     sub,
     sum as tsum,
-    where,
+    where_le,
 )
 
 
@@ -51,18 +51,38 @@ def norm_rows(x: Tensor, eps: float = 0.0) -> Tensor:
     return sqrt(sq)
 
 
-def huber_loss(pred: Tensor, target: Tensor, delta: float = 0.1) -> Tensor:
+def huber_loss(
+    pred: Tensor,
+    target: Tensor,
+    delta: float = 0.1,
+    mask: Tensor | None = None,
+    count: Tensor | None = None,
+) -> Tensor:
     """Mean Huber loss (the paper's training criterion).
 
     Quadratic within ``delta`` of the target, linear outside:
     ``0.5*d^2`` if ``|d| <= delta`` else ``delta*(|d| - 0.5*delta)``.
+
+    The branch selection runs through :func:`~repro.tensor.ops_math.where_le`
+    so the loss is fully expressed in primitives — a requirement for the
+    compiled-tape replay (:mod:`repro.tensor.compile`), which re-executes the
+    recorded op list on fresh batch data.
+
+    ``mask``/``count`` implement the masked mean used for padded batches:
+    elementwise weights (broadcast against ``pred``) and the scalar number of
+    *real* elements the sum is divided by.  Both default to the plain mean.
     """
     target = astensor(target)
     d = sub(pred, target)
     ad = absolute(d)
     quad = mul(mul(d, d), 0.5)
     lin = mul(sub(ad, 0.5 * delta), delta)
-    return mean(where(ad.data <= delta, quad, lin))
+    sel = where_le(ad, quad, lin, delta)
+    if mask is None:
+        return mean(sel)
+    if count is None:
+        raise ValueError("masked huber_loss requires the real-element count")
+    return div(tsum(mul(sel, mask)), count)
 
 
 def mse_loss(pred: Tensor, target: Tensor) -> Tensor:

@@ -302,7 +302,55 @@ def _abs_vjp(g, out, inputs, needs):
     (a,) = inputs
     if not needs[0]:
         return (None,)
-    return (mul(g, Tensor(np.sign(a.data))),)
+    return (mul(g, sign(a)),)
+
+
+# ----------------------------------------------------------- mask primitives
+# Piecewise VJPs (abs, clip, maximum, where_le, ...) select branches with a
+# data-dependent mask.  The masks are *primitives* — not constants computed
+# on the side — so a captured tape (repro.tensor.compile) recomputes them
+# from the live operands on replay.  Their own gradient is zero almost
+# everywhere, hence the ``None`` VJPs.
+
+
+def sign(a: Tensor) -> Tensor:
+    """Elementwise sign; gradient is zero (a.e.)."""
+    return apply_op("sign", np.sign, _zero_vjp1, (astensor(a),))
+
+
+def _zero_vjp1(g, out, inputs, needs, **kwargs):
+    return (None,)
+
+
+def _zero_vjp2(g, out, inputs, needs, **kwargs):
+    return (None, None)
+
+
+def ge_mask(a: ArrayLike, b: ArrayLike) -> Tensor:
+    """Float mask ``(a >= b)`` with broadcasting; zero gradient."""
+    a, b = astensor(a), astensor(b)
+    return apply_op(
+        "ge_mask", lambda x, y: np.greater_equal(x, y).astype(x.dtype), _zero_vjp2, (a, b)
+    )
+
+
+def le_mask(a: ArrayLike, b: ArrayLike) -> Tensor:
+    """Float mask ``(a <= b)`` with broadcasting; zero gradient."""
+    a, b = astensor(a), astensor(b)
+    return apply_op(
+        "le_mask", lambda x, y: np.less_equal(x, y).astype(x.dtype), _zero_vjp2, (a, b)
+    )
+
+
+def interval_mask(a: Tensor, lo: float, hi: float) -> Tensor:
+    """Float mask ``lo <= a <= hi`` (the clip pass-through region)."""
+    return apply_op(
+        "interval_mask",
+        lambda x, lo, hi: ((x >= lo) & (x <= hi)).astype(x.dtype),
+        _zero_vjp1,
+        (astensor(a),),
+        {"lo": float(lo), "hi": float(hi)},
+    )
 
 
 def maximum(a: ArrayLike, b: ArrayLike) -> Tensor:
@@ -312,9 +360,9 @@ def maximum(a: ArrayLike, b: ArrayLike) -> Tensor:
 
 def _maximum_vjp(g, out, inputs, needs):
     a, b = inputs
-    mask = np.broadcast_to(a.data, out.shape) >= np.broadcast_to(b.data, out.shape)
-    ga = _unbroadcast(mul(g, Tensor(mask.astype(g.dtype))), a.shape) if needs[0] else None
-    gb = _unbroadcast(mul(g, Tensor((~mask).astype(g.dtype))), b.shape) if needs[1] else None
+    mask = ge_mask(a, b)
+    ga = _unbroadcast(mul(g, mask), a.shape) if needs[0] else None
+    gb = _unbroadcast(mul(g, sub(1.0, mask)), b.shape) if needs[1] else None
     return (ga, gb)
 
 
@@ -325,9 +373,9 @@ def minimum(a: ArrayLike, b: ArrayLike) -> Tensor:
 
 def _minimum_vjp(g, out, inputs, needs):
     a, b = inputs
-    mask = np.broadcast_to(a.data, out.shape) <= np.broadcast_to(b.data, out.shape)
-    ga = _unbroadcast(mul(g, Tensor(mask.astype(g.dtype))), a.shape) if needs[0] else None
-    gb = _unbroadcast(mul(g, Tensor((~mask).astype(g.dtype))), b.shape) if needs[1] else None
+    mask = le_mask(a, b)
+    ga = _unbroadcast(mul(g, mask), a.shape) if needs[0] else None
+    gb = _unbroadcast(mul(g, sub(1.0, mask)), b.shape) if needs[1] else None
     return (ga, gb)
 
 
@@ -346,8 +394,42 @@ def _clip_vjp(g, out, inputs, needs, lo, hi):
     (a,) = inputs
     if not needs[0]:
         return (None,)
-    mask = ((a.data >= lo) & (a.data <= hi)).astype(g.dtype)
-    return (mul(g, Tensor(mask)),)
+    return (mul(g, interval_mask(a, lo, hi)),)
+
+
+def where_le(a: Tensor, x: ArrayLike, y: ArrayLike, threshold: float) -> Tensor:
+    """Select ``x`` where ``a <= threshold`` else ``y``.
+
+    The branch condition is part of the op (not a precomputed constant), so
+    the selection is recomputed from the live ``a`` on a compiled-tape
+    replay.  Gradient w.r.t. ``a`` is zero (a.e.), as for :func:`where`.
+    """
+    a, x, y = astensor(a), astensor(x), astensor(y)
+    return apply_op(
+        "where_le",
+        lambda a, x, y, threshold: np.where(a <= threshold, x, y),
+        _where_le_vjp,
+        (a, x, y),
+        {"threshold": float(threshold)},
+    )
+
+
+def _where_le_vjp(g, out, inputs, needs, threshold):
+    a, x, y = inputs
+    gx = gy = None
+    if needs[1] or needs[2]:
+        mask = apply_op(
+            "le_mask_c",
+            lambda a, threshold: np.less_equal(a, threshold).astype(a.dtype),
+            _zero_vjp1,
+            (a,),
+            {"threshold": threshold},
+        )
+        if needs[1]:
+            gx = _unbroadcast(mul(g, mask), x.shape)
+        if needs[2]:
+            gy = _unbroadcast(mul(g, sub(1.0, mask)), y.shape)
+    return (None, gx, gy)
 
 
 def where(cond: np.ndarray, a: ArrayLike, b: ArrayLike) -> Tensor:

@@ -170,19 +170,28 @@ def _gather_vjp(g, out, inputs, needs, idx):
     return (segment_sum(g, idx, a.shape[0]),)
 
 
-def _segment_sum_fwd(x: np.ndarray, idx: np.ndarray, num_segments: int) -> np.ndarray:
-    out = np.zeros((num_segments,) + x.shape[1:], dtype=x.dtype)
+def sorted_segment_reduce(x: np.ndarray, idx: np.ndarray, out: np.ndarray) -> np.ndarray:
+    """Accumulate rows of ``x`` into the zeroed ``out`` by segment id.
+
+    Sort-based reduction: argsort + add.reduceat run in C and are far
+    faster than np.add.at for the (n_edges, 64) feature blocks of a batch.
+    Shared by the eager forward below and the compiled-step out= kernel
+    (:mod:`repro.tensor.compile`), so the two paths cannot drift from the
+    bit-identity contract.
+    """
     if idx.size == 0:
         return out
-    # Sort-based reduction: argsort + add.reduceat run in C and are far
-    # faster than np.add.at for the (n_edges, 64) feature blocks of a batch.
     order = np.argsort(idx, kind="stable")
     sx = x[order]
     sidx = idx[order]
     boundaries = np.flatnonzero(np.r_[True, sidx[1:] != sidx[:-1]])
-    sums = np.add.reduceat(sx, boundaries, axis=0)
-    out[sidx[boundaries]] = sums
+    out[sidx[boundaries]] = np.add.reduceat(sx, boundaries, axis=0)
     return out
+
+
+def _segment_sum_fwd(x: np.ndarray, idx: np.ndarray, num_segments: int) -> np.ndarray:
+    out = np.zeros((num_segments,) + x.shape[1:], dtype=x.dtype)
+    return sorted_segment_reduce(x, idx, out)
 
 
 def segment_sum(x: Tensor, idx: np.ndarray, num_segments: int) -> Tensor:

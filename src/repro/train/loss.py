@@ -4,6 +4,11 @@ The four properties are weighted with the paper's prefactors
 (energy 2, force 1.5, stress 0.1, magmom 0.1).  On the reference model the
 force/stress terms differentiate *through* energy gradients, which is what
 makes the weight update second-order.
+
+Padded (bucketed) batches carry ``pad_info``: their ghost rows are excluded
+with exactly-zero weights via masked Huber means, and the reported MAEs are
+computed over the real prefix only (:func:`batch_metrics`, shared with the
+compiled-step replay so the two paths cannot drift).
 """
 
 from __future__ import annotations
@@ -47,6 +52,39 @@ class LossBreakdown:
         }
 
 
+def batch_metrics(
+    energy: np.ndarray,
+    forces: np.ndarray,
+    stress: np.ndarray,
+    magmom: np.ndarray,
+    batch: GraphBatch,
+) -> tuple[float, float, float, float]:
+    """Per-property MAEs of predictions vs batch labels (pad-aware).
+
+    On padded batches both predictions and labels are restricted to the real
+    prefix, so ghost rows never influence reported metrics.  Used by the
+    eager loss and by the compiled-step replay.
+    """
+    pi = batch.pad_info
+    if pi is None:
+        le, lf, ls, lm = batch.energy_per_atom, batch.forces, batch.stress, batch.magmom
+    else:
+        energy = energy[: pi.num_structs]
+        forces = forces[: pi.num_atoms]
+        stress = stress[: pi.num_structs]
+        magmom = magmom[: pi.num_atoms]
+        le = batch.aux(("energy_real",))
+        lf = batch.aux(("forces_real",))
+        ls = batch.aux(("stress_real",))
+        lm = batch.aux(("magmom_real",))
+    return (
+        float(np.mean(np.abs(energy - le))),
+        float(np.mean(np.abs(forces - lf))),
+        float(np.mean(np.abs(stress - ls))),
+        float(np.mean(np.abs(magmom - lm))),
+    )
+
+
 class CompositeLoss:
     """Weighted Huber loss over energy/forces/stress/magmom."""
 
@@ -58,18 +96,62 @@ class CompositeLoss:
         if batch.energy_per_atom is None:
             raise ValueError("batch has no labels; collate with labels for training")
         w = self.weights
-        le = huber_loss(output.energy_per_atom, Tensor(batch.energy_per_atom), self.delta)
-        lf = huber_loss(output.forces, Tensor(batch.forces), self.delta)
-        ls = huber_loss(output.stress, Tensor(batch.stress), self.delta)
-        lm = huber_loss(output.magmom, Tensor(batch.magmom), self.delta)
+        if batch.pad_info is None:
+            le = huber_loss(output.energy_per_atom, Tensor(batch.energy_per_atom), self.delta)
+            lf = huber_loss(output.forces, Tensor(batch.forces), self.delta)
+            ls = huber_loss(output.stress, Tensor(batch.stress), self.delta)
+            lm = huber_loss(output.magmom, Tensor(batch.magmom), self.delta)
+        else:
+            # Masked means: ghost rows get exactly-zero weight and the sums
+            # are divided by the real element counts, so gradients w.r.t.
+            # real predictions match the unpadded loss exactly.
+            struct_mask = Tensor(batch.aux(("pad_mask", "struct")))
+            atom_col = Tensor(batch.aux(("pad_mask", "atom_col")))
+            atom_mask = Tensor(batch.aux(("pad_mask", "atom")))
+            stress_mask = Tensor(batch.aux(("pad_mask", "stress")))
+            le = huber_loss(
+                output.energy_per_atom,
+                Tensor(batch.energy_per_atom),
+                self.delta,
+                mask=struct_mask,
+                count=Tensor(batch.aux(("pad_count", "energy"))),
+            )
+            lf = huber_loss(
+                output.forces,
+                Tensor(batch.forces),
+                self.delta,
+                mask=atom_col,
+                count=Tensor(batch.aux(("pad_count", "forces"))),
+            )
+            ls = huber_loss(
+                output.stress,
+                Tensor(batch.stress),
+                self.delta,
+                mask=stress_mask,
+                count=Tensor(batch.aux(("pad_count", "stress"))),
+            )
+            lm = huber_loss(
+                output.magmom,
+                Tensor(batch.magmom),
+                self.delta,
+                mask=atom_mask,
+                count=Tensor(batch.aux(("pad_count", "magmom"))),
+            )
         loss = add(
             add(mul(le, w.energy), mul(lf, w.force)),
             add(mul(ls, w.stress), mul(lm, w.magmom)),
         )
+        e_mae, f_mae, s_mae, m_mae = batch_metrics(
+            output.energy_per_atom.data,
+            output.forces.data,
+            output.stress.data,
+            output.magmom.data,
+            batch,
+        )
         return LossBreakdown(
             loss=loss,
-            energy_mae=float(np.mean(np.abs(output.energy_per_atom.data - batch.energy_per_atom))),
-            force_mae=float(np.mean(np.abs(output.forces.data - batch.forces))),
-            stress_mae=float(np.mean(np.abs(output.stress.data - batch.stress))),
-            magmom_mae=float(np.mean(np.abs(output.magmom.data - batch.magmom))),
+            energy_mae=e_mae,
+            force_mae=f_mae,
+            stress_mae=s_mae,
+            magmom_mae=m_mae,
         )

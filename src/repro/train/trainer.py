@@ -18,7 +18,17 @@ from repro.train.schedule import BASE_LR, CosineAnnealingLR, scaled_learning_rat
 
 @dataclass
 class TrainConfig:
-    """Hyperparameters of one training run (paper Section IV defaults)."""
+    """Hyperparameters of one training run (paper Section IV defaults).
+
+    ``compile=True`` turns on the compile-once training step
+    (:class:`repro.tensor.compile.StepCompiler`): each batch is padded to a
+    shape bucket, the first batch of a bucket captures the full
+    forward/loss/backward tape, and later batches replay it with arena
+    buffers and fused kernels — bit-identical to the eager step, with an
+    automatic eager fallback when a program's guards fail.
+    ``compile_bucket=False`` disables the padding (programs are then keyed
+    by exact batch shapes, useful for strict eager-equality testing).
+    """
 
     epochs: int = 30
     batch_size: int = 128
@@ -29,12 +39,20 @@ class TrainConfig:
     seed: int = 0
     prefetch: bool = False
     cosine_eta_min_frac: float = 0.01
+    compile: bool = False
+    compile_bucket: bool = True
 
-    def resolve_lr(self) -> float:
+    def resolve_lr(self, effective_batch_size: int | None = None) -> float:
+        """The initial learning rate.
+
+        ``effective_batch_size`` is the batch size actually used after
+        clamping to the dataset length; Eq. 14 scales with the batch that
+        really reaches the optimizer, not the configured one.
+        """
         if self.learning_rate is not None:
             return self.learning_rate
         if self.scale_lr:
-            return scaled_learning_rate(self.batch_size)
+            return scaled_learning_rate(effective_batch_size or self.batch_size)
         return BASE_LR
 
 
@@ -67,13 +85,23 @@ class Trainer:
         self.val_dataset = val_dataset
         self.config = config or TrainConfig()
         self.loss_fn = CompositeLoss(self.config.loss_weights, self.config.huber_delta)
-        self.optimizer = Adam(model.parameters(), lr=self.config.resolve_lr())
+        effective_batch_size = min(self.config.batch_size, len(train_dataset))
+        self.optimizer = Adam(
+            model.parameters(), lr=self.config.resolve_lr(effective_batch_size)
+        )
         self.loader = DataLoader(
             train_dataset,
-            batch_size=min(self.config.batch_size, len(train_dataset)),
+            batch_size=effective_batch_size,
             seed=self.config.seed,
             prefetch=self.config.prefetch,
         )
+        self.compiler = None
+        if self.config.compile:
+            from repro.tensor.compile import StepCompiler
+
+            self.compiler = StepCompiler(
+                model, self.loss_fn, bucket=self.config.compile_bucket
+            )
         total_steps = max(1, len(self.loader) * self.config.epochs)
         self.scheduler = CosineAnnealingLR(
             self.optimizer,
@@ -83,11 +111,19 @@ class Trainer:
         self.history: list[EpochRecord] = []
 
     def train_step(self, batch: GraphBatch) -> LossBreakdown:
-        """One optimization step: forward, composite loss, backward, Adam."""
-        self.model.zero_grad()
-        output = self.model.forward(batch, training=True)
-        breakdown = self.loss_fn(output, batch)
-        breakdown.loss.backward()
+        """One optimization step: forward, composite loss, backward, Adam.
+
+        With ``config.compile`` the forward/loss/backward runs as a captured
+        tape replay (gradients land in ``.grad`` exactly as eager backward
+        would leave them); the optimizer and schedule always run eagerly.
+        """
+        if self.compiler is not None:
+            breakdown = self.compiler.step(batch)
+        else:
+            self.model.zero_grad()
+            output = self.model.forward(batch, training=True)
+            breakdown = self.loss_fn(output, batch)
+            breakdown.loss.backward()
         self.optimizer.step()
         self.scheduler.step()
         return breakdown

@@ -1,0 +1,52 @@
+"""The train-step benchmark's smoke mode must always run end-to-end."""
+
+from __future__ import annotations
+
+import importlib.util
+import json
+import sys
+from pathlib import Path
+
+import pytest
+
+BENCH = Path(__file__).resolve().parents[1] / "benchmarks" / "bench_train_step.py"
+
+
+@pytest.fixture(scope="module")
+def bench_module():
+    spec = importlib.util.spec_from_file_location("bench_train_step", BENCH)
+    module = importlib.util.module_from_spec(spec)
+    sys.modules[spec.name] = module
+    spec.loader.exec_module(module)
+    return module
+
+
+def test_smoke_runs_end_to_end(bench_module, tmp_path):
+    out = tmp_path / "BENCH_train_step.json"
+    results = bench_module.main(["--smoke", "--out", str(out)])
+
+    assert results["mode"] == "smoke"
+    levels = results["workloads"]["medium"]["levels"]
+    # every OptLevel measured, heads on and off both covered
+    assert [r["level"] for r in levels] == [
+        "BASELINE",
+        "PARALLEL_BASIS",
+        "FUSED",
+        "DECOMPOSE_FS",
+    ]
+    assert {r["use_heads"] for r in levels} == {True, False}
+    for r in levels:
+        assert r["eager_steps_per_s"] > 0 and r["compiled_steps_per_s"] > 0
+        assert r["speedup"] > 0
+        # replay really replayed and stayed bit-identical to eager
+        assert r["bitwise_equal"] is True
+        assert r["stats"]["replays"] > 0
+        assert r["stats"]["eager_fallbacks"] == 0
+        # the compiler actually compiled: DCE + fusion shrank the program
+        assert r["instrs_compiled"] < r["instrs_captured"]
+        assert r["compiled_kernels_per_step"] < r["eager_kernels_per_step"]
+    assert results["medium_all_bitwise_equal"] is True
+    # the JSON artifact round-trips
+    on_disk = json.loads(out.read_text())
+    assert on_disk["mode"] == "smoke"
+    assert on_disk["medium_max_speedup"] == results["medium_max_speedup"]

@@ -1,0 +1,110 @@
+"""PR-2 satellite fixes: parallel graph building, LRU memoization, LR scaling."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data.dataset import StructureDataset
+from repro.data.mptrj import generate_mptrj
+from repro.model import CHGNetConfig, FastCHGNet
+from repro.train import TrainConfig, Trainer
+from repro.train.schedule import scaled_learning_rate
+
+
+@pytest.fixture(scope="module")
+def entries():
+    return generate_mptrj(12, seed=4, max_atoms=6)
+
+
+class TestParallelGraphBuilding:
+    def test_worker_pool_matches_serial(self, entries):
+        serial = StructureDataset(entries)
+        parallel = StructureDataset(entries, n_workers=4)
+        assert len(serial.graphs) == len(parallel.graphs)
+        for gs, gp in zip(serial.graphs, parallel.graphs):
+            assert np.array_equal(gs.edge_src, gp.edge_src)
+            assert np.array_equal(gs.edge_dst, gp.edge_dst)
+            assert np.array_equal(gs.edge_image, gp.edge_image)
+            assert np.array_equal(gs.short_idx, gp.short_idx)
+            assert np.array_equal(gs.angle_e1, gp.angle_e1)
+            assert np.array_equal(gs.angle_e2, gp.angle_e2)
+            assert np.array_equal(gs.angle_center, gp.angle_center)
+        assert np.array_equal(serial.feature_numbers, parallel.feature_numbers)
+
+    def test_single_worker_is_serial_fallback(self, entries):
+        ds = StructureDataset(entries, n_workers=1)
+        assert len(ds.graphs) == len(entries)
+
+
+class TestBoundedMemoization:
+    def test_lru_cap_bounds_cache(self, entries):
+        ds = StructureDataset(entries, memoize_batches=2)
+        b0 = ds.batch([0, 1])
+        ds.batch([2, 3])
+        assert len(ds._batch_cache) == 2
+        ds.batch([4, 5])  # evicts the oldest ([0, 1])
+        assert len(ds._batch_cache) == 2
+        assert (0, 1) not in ds._batch_cache
+        # a re-request rebuilds (a fresh object), then caches again
+        assert ds.batch([0, 1]) is not b0
+        assert ds.batch([0, 1]) is ds.batch([0, 1])
+
+    def test_lru_recency_order(self, entries):
+        ds = StructureDataset(entries, memoize_batches=2)
+        a = ds.batch([0, 1])
+        ds.batch([2, 3])
+        assert ds.batch([0, 1]) is a  # touch: [0,1] becomes most recent
+        ds.batch([4, 5])  # evicts [2,3], not [0,1]
+        assert (0, 1) in ds._batch_cache and (2, 3) not in ds._batch_cache
+
+    def test_true_keeps_unbounded_cache(self, entries):
+        ds = StructureDataset(entries, memoize_batches=True)
+        for lo in range(0, 10, 2):
+            ds.batch([lo, lo + 1])
+        assert len(ds._batch_cache) == 5
+
+    def test_subset_preserves_setting(self, entries):
+        ds = StructureDataset(entries, memoize_batches=3)
+        sub = ds.subset(np.arange(4))
+        assert sub.memoize_batches == 3
+        assert len(sub._batch_cache) == 0
+
+
+class TestEffectiveBatchLRScaling:
+    CFG = CHGNetConfig(
+        atom_fea_dim=8,
+        bond_fea_dim=8,
+        angle_fea_dim=8,
+        num_radial=5,
+        angular_order=2,
+        hidden_dim=8,
+    )
+
+    def test_lr_scales_with_clamped_batch_size(self, entries):
+        ds = StructureDataset(entries)  # 12 structures
+        model = FastCHGNet(np.random.default_rng(0), config=self.CFG)
+        trainer = Trainer(
+            model, ds, config=TrainConfig(batch_size=512, scale_lr=True, epochs=1)
+        )
+        # batch_size clamps to len(dataset)=12; Eq. 14 must use that.
+        assert trainer.optimizer.lr == pytest.approx(scaled_learning_rate(12))
+        assert trainer.loader.batch_size == 12
+
+    def test_explicit_lr_unaffected(self, entries):
+        ds = StructureDataset(entries)
+        model = FastCHGNet(np.random.default_rng(0), config=self.CFG)
+        trainer = Trainer(
+            model,
+            ds,
+            config=TrainConfig(batch_size=512, learning_rate=1e-2, epochs=1),
+        )
+        assert trainer.optimizer.lr == 1e-2
+
+    def test_resolve_lr_backward_compatible(self):
+        assert TrainConfig(scale_lr=True, batch_size=256).resolve_lr() == pytest.approx(
+            scaled_learning_rate(256)
+        )
+        assert TrainConfig(scale_lr=True, batch_size=256).resolve_lr(8) == pytest.approx(
+            scaled_learning_rate(8)
+        )
