@@ -33,13 +33,30 @@ def _add_train(sub: argparse._SubParsersAction) -> None:
         help="compile-once training steps: pad batches to shape buckets, "
         "capture the forward/loss/backward tape per bucket and replay it "
         "with arena buffers and fused kernels (bit-identical gradients, "
-        "automatic eager fallback)",
+        "automatic eager fallback); with --world-size > 1, every simulated "
+        "rank runs its own warm-started compiler over bucket-sampled, "
+        "tier-padded shards",
     )
     p.add_argument(
         "--n-workers",
         type=int,
         default=None,
         help="worker threads for dataset graph construction (default: serial)",
+    )
+    p.add_argument(
+        "--world-size",
+        type=int,
+        default=1,
+        help="simulated data-parallel ranks; > 1 trains through the "
+        "DistributedTrainer (--batch-size becomes the global batch, Eq. 14 "
+        "LR scaling applies unless --lr is given)",
+    )
+    p.add_argument(
+        "--n-buckets",
+        type=int,
+        default=8,
+        help="gradient buckets for the overlapped allreduce flush "
+        "(distributed runs only)",
     )
 
 
@@ -90,6 +107,45 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _train_distributed(args: argparse.Namespace, splits, model_factory) -> object:
+    """Train through the simulated data-parallel path; returns the model."""
+    from repro.train import DistributedConfig, DistributedTrainer
+
+    if args.batch_size % args.world_size != 0:
+        raise SystemExit(
+            f"--batch-size {args.batch_size} must be divisible by "
+            f"--world-size {args.world_size}"
+        )
+    cfg = DistributedConfig(
+        world_size=args.world_size,
+        global_batch_size=args.batch_size,
+        epochs=args.epochs,
+        learning_rate=args.lr,
+        scale_lr=args.scale_lr,
+        seed=args.seed,
+        compile=args.compile,
+        n_buckets=args.n_buckets,
+    )
+    trainer = DistributedTrainer(model_factory, splits.train, cfg)
+    for epoch in range(args.epochs):
+        records = trainer.train_epoch()
+        loss = float(np.mean([r.loss for r in records]))
+        e_mae = float(np.mean([r.energy_mae for r in records]))
+        print(
+            f"epoch {epoch:3d} loss={loss:.4f} E={e_mae * 1e3:7.1f}meV/atom "
+            f"({len(records)} steps x {args.world_size} ranks)",
+            flush=True,
+        )
+    print(f"replicas in sync: {trainer.replicas_in_sync()}")
+    stats = trainer.compile_stats()
+    if stats is not None:
+        print(
+            f"compiled rank steps: {stats['replays']} replays / "
+            f"{stats['captures']} captures / {stats['eager_fallbacks']} eager fallbacks"
+        )
+    return trainer.model
+
+
 def cmd_train(args: argparse.Namespace) -> int:
     from repro.data import generate_mptrj, split_dataset
     from repro.model import CHGNet, FastCHGNet
@@ -97,34 +153,40 @@ def cmd_train(args: argparse.Namespace) -> int:
 
     entries = generate_mptrj(args.structures, seed=args.seed, max_atoms=args.max_atoms)
     splits = split_dataset(entries, seed=args.seed, n_workers=args.n_workers)
-    rng = np.random.default_rng(args.seed + 7)
-    if args.variant == "chgnet":
-        model = CHGNet(rng)
-    elif args.variant == "fast-wo-head":
-        model = FastCHGNet(rng, use_heads=False)
-    else:
-        model = FastCHGNet(rng)
+
+    def model_factory():
+        rng = np.random.default_rng(args.seed + 7)
+        if args.variant == "chgnet":
+            return CHGNet(rng)
+        if args.variant == "fast-wo-head":
+            return FastCHGNet(rng, use_heads=False)
+        return FastCHGNet(rng)
+
+    model = model_factory()
     print(f"{args.variant}: {model.num_parameters():,} parameters")
-    trainer = Trainer(
-        model,
-        splits.train,
-        val_dataset=splits.val,
-        config=TrainConfig(
-            epochs=args.epochs,
-            batch_size=args.batch_size,
-            learning_rate=args.lr,
-            scale_lr=args.scale_lr,
-            seed=args.seed,
-            compile=args.compile,
-        ),
-    )
-    trainer.train(verbose=True)
-    if args.compile and trainer.compiler is not None:
-        stats = trainer.compiler.stats
-        print(
-            f"compiled steps: {stats.replays} replays / {stats.captures} captures "
-            f"/ {stats.eager_fallbacks} eager fallbacks"
+    if args.world_size > 1:
+        model = _train_distributed(args, splits, model_factory)
+    else:
+        trainer = Trainer(
+            model,
+            splits.train,
+            val_dataset=splits.val,
+            config=TrainConfig(
+                epochs=args.epochs,
+                batch_size=args.batch_size,
+                learning_rate=args.lr,
+                scale_lr=args.scale_lr,
+                seed=args.seed,
+                compile=args.compile,
+            ),
         )
+        trainer.train(verbose=True)
+        if args.compile and trainer.compiler is not None:
+            stats = trainer.compiler.stats
+            print(
+                f"compiled steps: {stats.replays} replays / {stats.captures} captures "
+                f"/ {stats.eager_fallbacks} eager fallbacks"
+            )
     result, _ = evaluate(model, splits.test)
     print("| model | E (meV/atom) | F (meV/A) | S | M (m-muB) |")
     print(result.row(args.variant))

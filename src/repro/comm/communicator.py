@@ -44,6 +44,38 @@ class SimCommunicator:
             arr /= self.world_size
         return out
 
+    def allreduce_mean_inplace(
+        self,
+        per_rank: list[np.ndarray],
+        work: np.ndarray | None = None,
+    ) -> np.ndarray:
+        """Mean-allreduce writing the result back into every rank's buffer.
+
+        Bitwise-equal to :meth:`allreduce_mean` (same stacked pairwise sum,
+        same division) but allocation-free in steady state: ``work`` is a
+        ``(world_size + 1, *shape)`` scratch block — rows ``0..world-1``
+        stage the stacked operands, row ``world`` receives the mean — that
+        callers keep and pass back on every step (the gradient-flush hot
+        path).  Returns the scratch block for reuse.
+        """
+        self._check(per_rank)
+        shape, dtype = per_rank[0].shape, per_rank[0].dtype
+        for arr in per_rank:
+            if arr.shape != shape:
+                raise ValueError("ranks disagree on buffer shape")
+        if work is None or work.shape != (self.world_size + 1, *shape) or work.dtype != dtype:
+            work = np.empty((self.world_size + 1, *shape), dtype=dtype)
+        for r, arr in enumerate(per_rank):
+            np.copyto(work[r], arr)
+        mean = work[self.world_size]
+        # np.sum delegates to np.add.reduce (same pairwise path, so the sum
+        # is bit-identical to the stacking allreduce_mean above).
+        np.add.reduce(work[: self.world_size], axis=0, out=mean)
+        mean /= self.world_size
+        for arr in per_rank:
+            np.copyto(arr, mean)
+        return work
+
     def allreduce_mean_lists(
         self, per_rank: list[list[np.ndarray]]
     ) -> list[list[np.ndarray]]:

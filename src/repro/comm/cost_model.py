@@ -16,6 +16,7 @@ communication overhead grows with rank count while per-rank compute shrinks
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Sequence
 
 
 @dataclass(frozen=True)
@@ -63,26 +64,51 @@ def simulate_overlap(
     world_size: int,
     spec: ClusterSpec,
     n_buckets: int = 8,
+    bucket_bytes: Sequence[float] | None = None,
+    ready_times: Sequence[float] | None = None,
 ) -> OverlapResult:
     """Event simulation of the paper's "Communication Overlap".
 
-    Gradients become ready bucket by bucket as the backward pass proceeds
-    (uniformly spread); each bucket's allreduce starts when its gradients
-    are ready and the network is free.  ``n_buckets=1`` degenerates to the
-    blocking all-at-the-end allreduce.
+    Gradients become ready bucket by bucket as the backward pass proceeds;
+    each bucket's allreduce starts when its gradients are ready and the
+    network is free.  ``n_buckets=1`` degenerates to the blocking
+    all-at-the-end allreduce.
+
+    By default buckets are equal-sized and uniformly spread over the
+    backward pass.  A trainer that knows its real bucket layout passes
+    ``bucket_bytes`` (per-bucket payloads, overriding ``grad_bytes`` /
+    ``n_buckets``) and ``ready_times`` (seconds into the backward pass at
+    which each bucket's gradients are complete, in flush order) — e.g. the
+    liveness-ordered buckets of the distributed trainer, whose early buckets
+    are ready long before a uniform spread would predict.
     """
-    if n_buckets < 1:
-        raise ValueError(f"n_buckets must be >= 1, got {n_buckets}")
     if backward_time < 0:
         raise ValueError("backward_time must be non-negative")
-    bucket_bytes = grad_bytes / n_buckets
-    bucket_comm = ring_allreduce_time(int(bucket_bytes), world_size, spec)
-    comm_total = bucket_comm * n_buckets
+    if bucket_bytes is not None:
+        sizes = [float(b) for b in bucket_bytes]
+        if not sizes:
+            raise ValueError("bucket_bytes must be non-empty")
+        if any(b < 0 for b in sizes):
+            raise ValueError("bucket_bytes must be non-negative")
+        n_buckets = len(sizes)
+    else:
+        if n_buckets < 1:
+            raise ValueError(f"n_buckets must be >= 1, got {n_buckets}")
+        sizes = [grad_bytes / n_buckets] * n_buckets
+    if ready_times is not None:
+        ready = [float(t) for t in ready_times]
+        if len(ready) != n_buckets:
+            raise ValueError(f"{len(ready)} ready times for {n_buckets} buckets")
+        if any(t < 0 or t > backward_time for t in ready):
+            raise ValueError("ready times must lie within the backward pass")
+    else:
+        ready = [backward_time * (i + 1) / n_buckets for i in range(n_buckets)]
+    comms = [ring_allreduce_time(int(b), world_size, spec) for b in sizes]
+    comm_total = sum(comms)
     network_free = 0.0
-    for i in range(n_buckets):
-        ready = backward_time * (i + 1) / n_buckets
-        start = max(ready, network_free)
-        network_free = start + bucket_comm
+    for t, comm in zip(ready, comms):
+        start = max(t, network_free)
+        network_free = start + comm
     total = max(network_free, backward_time)
     return OverlapResult(
         total_time=total,

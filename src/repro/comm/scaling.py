@@ -72,6 +72,8 @@ def model_iteration(
     overlap_buckets: int = 8,
     jitter_sigma: float = 0.0,
     rng: np.random.Generator | None = None,
+    bucket_bytes: np.ndarray | None = None,
+    bucket_ready_frac: np.ndarray | None = None,
 ) -> ScalingPoint:
     """Model one training iteration given per-rank feature loads.
 
@@ -79,6 +81,11 @@ def model_iteration(
     kernel variance, clock effects).  Synchronous data parallelism waits for
     the *slowest* rank, so the expected straggler penalty grows with the
     rank count — a real-cluster effect on top of load imbalance.
+
+    ``bucket_bytes``/``bucket_ready_frac`` feed the overlap simulation the
+    trainer's real liveness-ordered bucket layout (payload per bucket and
+    the fraction of the backward pass completed when each bucket's gradients
+    are written) instead of the uniform spread.
     """
     rank_loads = np.asarray(rank_loads, dtype=float)
     if rank_loads.shape != (world_size,):
@@ -90,12 +97,18 @@ def model_iteration(
     compute_time = float(times.max())
     # The allreduce overlaps the backward portion of compute (~2/3 of a
     # training step is backward).
+    backward_time = 2.0 / 3.0 * compute_time
+    ready_times = None
+    if bucket_ready_frac is not None:
+        ready_times = [backward_time * float(f) for f in bucket_ready_frac]
     overlap = simulate_overlap(
-        backward_time=2.0 / 3.0 * compute_time,
+        backward_time=backward_time,
         grad_bytes=grad_bytes,
         world_size=world_size,
         spec=spec,
         n_buckets=overlap_buckets,
+        bucket_bytes=bucket_bytes,
+        ready_times=ready_times,
     )
     return ScalingPoint(
         world_size=world_size,

@@ -11,6 +11,7 @@ from repro.data.mptrj import LabeledStructure, dataset_statistics, generate_crys
 from repro.data.oracle import OraclePotential
 from repro.data.samplers import (
     BatchSampler,
+    BucketBatchSampler,
     DefaultSampler,
     LoadBalanceSampler,
     coefficient_of_variation,
@@ -30,6 +31,7 @@ __all__ = [
     "generate_mptrj",
     "OraclePotential",
     "BatchSampler",
+    "BucketBatchSampler",
     "DefaultSampler",
     "LoadBalanceSampler",
     "coefficient_of_variation",

@@ -137,6 +137,15 @@ class StructureDataset:
             entries, cutoff_atom, cutoff_bond, n_workers
         )
         self.feature_numbers = np.array([g.feature_number for g in self.graphs])
+        # Per-graph (atoms, edges, short edges, angles): the padding planner's
+        # input (BucketBatchSampler dims / compiler warm start).
+        self.graph_dims = np.array(
+            [
+                [g.num_atoms, g.num_edges, g.num_short_edges, g.num_angles]
+                for g in self.graphs
+            ],
+            dtype=np.int64,
+        )
 
     def __len__(self) -> int:
         return len(self.entries)
@@ -183,6 +192,7 @@ class StructureDataset:
         ds._batch_cache = OrderedDict()
         ds.graphs = [self.graphs[int(i)] for i in indices]
         ds.feature_numbers = self.feature_numbers[indices]
+        ds.graph_dims = self.graph_dims[indices]
         return ds
 
 

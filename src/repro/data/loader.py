@@ -22,7 +22,7 @@ import numpy as np
 
 from repro.data.dataset import StructureDataset
 from repro.data.samplers import BatchSampler, DefaultSampler
-from repro.graph.batching import GraphBatch
+from repro.graph.batching import GraphBatch, pad_batch
 from repro.runtime.stream import PrefetchQueue
 
 
@@ -87,6 +87,15 @@ class ShardedLoader:
 
     Drives the simulated data-parallel trainer; the ``sampler`` decides how
     each global batch is split across ranks (default vs load-balanced).
+
+    ``pad=True`` pads every shard to the sampler's planned canonical shape
+    (:meth:`repro.data.samplers.BucketBatchSampler.padding_targets`) before
+    yielding it, so all ranks of a step carry tier-equal shapes and compiled
+    per-rank steps replay instead of recompiling.  Padded results are cached
+    on the source batch, so combined with ``memoize`` a repeated epoch yields
+    the *identical* padded objects — bind-and-replay with no re-collation and
+    no re-concatenation.  Shards without planned targets pass through
+    unpadded (the compiler then buckets them itself).
     """
 
     def __init__(
@@ -94,10 +103,12 @@ class ShardedLoader:
         dataset: StructureDataset,
         sampler: BatchSampler,
         memoize: bool | None = None,
+        pad: bool = False,
     ) -> None:
         self.dataset = dataset
         self.sampler = sampler
         self.memoize = memoize
+        self.pad = pad
         self.epoch = 0
 
     @classmethod
@@ -124,8 +135,22 @@ class ShardedLoader:
 
     def _steps(self, epoch: int) -> Iterator[list[GraphBatch]]:
         for shards in self.sampler.epoch_partitions(epoch):
-            yield [self.dataset.batch(s, memoize=self.memoize) for s in shards]
+            batches = [self.dataset.batch(s, memoize=self.memoize) for s in shards]
+            if self.pad:
+                batches = [
+                    self._padded(batch, shard) for batch, shard in zip(batches, shards)
+                ]
+            yield batches
+
+    def _padded(self, batch: GraphBatch, shard: np.ndarray) -> GraphBatch:
+        targets = getattr(self.sampler, "padding_targets", None)
+        if targets is None:
+            return batch
+        planned = targets(shard)
+        if planned is None:
+            return batch
+        padded = pad_batch(batch, *planned)
+        return batch if padded is None else padded
 
     def __len__(self) -> int:
-        n = len(self.dataset)
-        return n // self.sampler.global_batch_size
+        return self.sampler.num_batches()

@@ -6,6 +6,15 @@ paper's sampler sorts the global batch by total feature number
 (atoms + bonds + angles) and lets each rank take the smallest and largest
 remaining samples in turn, cutting the coefficient of variation of per-rank
 work from 0.186 to 0.064 (Fig. 9).
+
+:class:`BucketBatchSampler` composes that load balancing with the padding
+tiers of the compile-once training step: global batches become fixed
+contiguous blocks of the size-sorted dataset (epochs shuffle the *order* of
+blocks), every block's rank shards are fixed by the greedy pairing, and —
+given per-sample graph dims — each shard is assigned a canonical padded
+target shared by its whole workload tier.  Shard shapes are then static
+across epochs, which is what lets compiled per-rank steps replay from the
+first epoch on with one program per tier.
 """
 
 from __future__ import annotations
@@ -13,6 +22,8 @@ from __future__ import annotations
 from typing import Iterator
 
 import numpy as np
+
+from repro.graph.batching import canonical_targets, workload_tier
 
 
 def coefficient_of_variation(values: np.ndarray) -> float:
@@ -68,6 +79,14 @@ class BatchSampler:
                 chunk = chunk[: len(chunk) - (len(chunk) % self.world_size)]
             yield chunk
 
+    def num_batches(self) -> int:
+        """Global batches yielded per epoch (matches :meth:`global_batches`)."""
+        full = self.n // self.global_batch_size
+        rem = self.n % self.global_batch_size
+        if not self.drop_last and rem >= self.world_size:
+            return full + 1
+        return full
+
     def partition(self, batch_indices: np.ndarray) -> list[np.ndarray]:
         """Assign one global batch's indices to ``world_size`` ranks."""
         raise NotImplementedError
@@ -113,6 +132,147 @@ class LoadBalanceSampler(BatchSampler):
                 hi -= 1
             rank = (rank + 1) % self.world_size
         return [np.array(s, dtype=np.int64) for s in shards]
+
+
+class BucketBatchSampler(LoadBalanceSampler):
+    """Fig. 9 load balancing composed with padding-tier awareness.
+
+    Global batches are contiguous **blocks of the size-sorted dataset**, so
+    every block holds similarly-sized structures; an epoch shuffles the
+    order in which blocks are visited (every sample still appears exactly
+    once per epoch).  Each block's rank shards are fixed once by the greedy
+    smallest+largest pairing — per-rank assignment within a global batch
+    does not affect the averaged gradient, so only the block *composition*
+    matters to SGD, exactly the size-bucketed batching of Koker et al.
+
+    With per-sample graph ``dims`` (``(n, 4)`` — atoms, edges, short edges,
+    angles), the sampler also plans padding: every shard is assigned the
+    canonical padded target of its workload tier, where a block's shards all
+    share the block's tier (per-rank tier equality) and a tier's target is
+    the feasibility fixpoint over all member shards
+    (:func:`repro.graph.batching.canonical_targets`).  Because shards are
+    static, these targets are exact — a compiled trainer captures once per
+    tier and replays everything else.
+
+    Because blocks are fixed, dropping the sorted tail would exclude the
+    *same largest structures from every epoch* (the other samplers drop a
+    different random remainder each time).  The bucket sampler therefore
+    ignores ``drop_last``'s full-batch guarantee in favor of coverage: the
+    tail becomes one short block (rank counts still equal, so it simply
+    forms its own padding tier), and only the unavoidable
+    ``n % world_size`` leftover is excluded — taken from evenly spaced
+    interior positions of the size-sorted order, never the extremes.
+    """
+
+    def __init__(
+        self,
+        feature_numbers: np.ndarray,
+        global_batch_size: int,
+        world_size: int = 1,
+        seed: int = 0,
+        drop_last: bool = True,
+        dims: np.ndarray | None = None,
+    ) -> None:
+        super().__init__(feature_numbers, global_batch_size, world_size, seed, drop_last)
+        order = np.argsort(self.feature_numbers, kind="stable")
+        leftover = self.n % world_size
+        if leftover:
+            drop_at = (np.arange(1, leftover + 1) * (self.n // (leftover + 1))).astype(
+                np.int64
+            )
+            order = np.delete(order, drop_at)
+        blocks: list[np.ndarray] = []
+        for lo in range(0, len(order), global_batch_size):
+            chunk = order[lo : lo + global_batch_size]
+            blocks.append(chunk)
+        self._blocks = blocks
+        self._shards = [self.partition(block) for block in blocks]
+        #: (shard_len, tier) -> canonical (atoms, edges, short, angles) target
+        self.tier_targets: dict[tuple[int, int], tuple[int, int, int, int]] = {}
+        self._shard_targets: dict[tuple[int, ...], tuple[int, int, int, int]] = {}
+        self._shard_dims: dict[tuple[int, ...], tuple[int, int, int, int]] = {}
+        if dims is not None:
+            self._plan_padding(np.asarray(dims, dtype=np.int64))
+
+    def partition(self, batch_indices: np.ndarray) -> list[np.ndarray]:
+        """Serpentine split of the size-sorted block: equal rank counts.
+
+        The greedy pairing hands out *two* samples per turn, so block
+        lengths that are not multiples of ``2 * world_size`` leave ranks
+        with unequal counts (a ``world_size``-long tail block would leave
+        half the ranks empty).  Walking the sorted block in rows of
+        ``world_size``, alternating direction per row, gives every rank
+        exactly ``len / world_size`` samples with near-equal work — and
+        reduces to the smallest+largest pairing when the block is exactly
+        two rows.
+        """
+        batch_indices = np.asarray(batch_indices)
+        if len(batch_indices) % self.world_size != 0:
+            return super().partition(batch_indices)
+        order = np.argsort(self.feature_numbers[batch_indices], kind="stable")
+        rows = batch_indices[order].reshape(-1, self.world_size)
+        rows[1::2] = rows[1::2, ::-1]
+        return [rows[:, r].copy() for r in range(self.world_size)]
+
+    # ------------------------------------------------------------ scheduling
+    def num_batches(self) -> int:
+        return len(self._blocks)
+
+    def _block_order(self, epoch: int) -> np.ndarray:
+        rng = np.random.default_rng((self.seed, epoch))
+        return rng.permutation(len(self._blocks))
+
+    def global_batches(self, epoch: int = 0) -> Iterator[np.ndarray]:
+        for i in self._block_order(epoch):
+            yield self._blocks[i]
+
+    def epoch_partitions(self, epoch: int = 0) -> Iterator[list[np.ndarray]]:
+        # Shards are fixed per block, so reuse the cached pairing.
+        for i in self._block_order(epoch):
+            yield self._shards[i]
+
+    # ------------------------------------------------------- padding planning
+    def _plan_padding(self, dims: np.ndarray) -> None:
+        if dims.shape != (self.n, 4):
+            raise ValueError(f"dims must be ({self.n}, 4), got {dims.shape}")
+        groups: dict[tuple[int, int], list[tuple[int, int, int, int]]] = {}
+        keyed: list[tuple[tuple[int, ...], tuple[int, int], tuple]] = []
+        for shards in self._shards:
+            raws = [tuple(int(c) for c in dims[s].sum(axis=0)) for s in shards]
+            # One tier per block: the heaviest shard's tier, so every rank
+            # of a step pads to the same canonical shape (equal-count
+            # shards) and stragglers never split a block across programs.
+            block_tier = max(workload_tier(raw) for raw in raws)
+            for shard, raw in zip(shards, raws):
+                key = (len(shard), block_tier)
+                groups.setdefault(key, []).append(raw)
+                keyed.append((tuple(int(i) for i in shard), key, raw))
+        self.tier_targets = {
+            key: canonical_targets(members) for key, members in groups.items()
+        }
+        for shard_key, key, raw in keyed:
+            self._shard_targets[shard_key] = self.tier_targets[key]
+            self._shard_dims[shard_key] = raw
+
+    def padding_targets(
+        self, shard_indices: np.ndarray
+    ) -> tuple[int, int, int, int] | None:
+        """Planned canonical padded shape for one of the fixed shards.
+
+        ``None`` when the sampler was built without ``dims`` or the indices
+        are not one of its shards (callers then fall back to compiler-side
+        tiering).
+        """
+        return self._shard_targets.get(tuple(int(i) for i in shard_indices))
+
+    def warm_start_entries(
+        self, has_labels: bool = True
+    ) -> list[tuple[int, bool, tuple[int, int, int, int]]]:
+        """Raw per-shard batch stats for ``StepCompiler.warm_start``."""
+        return [
+            (len(shard_key), has_labels, raw)
+            for shard_key, raw in self._shard_dims.items()
+        ]
 
 
 def imbalance_study(

@@ -26,12 +26,29 @@ Two services back the compile-once training step
   program.  ``pad_info`` records the real counts; the ghost rows sit at the
   array tails, carry finite well-conditioned geometry (no zero-length
   bonds, no degenerate angles), and are masked out of losses and metrics.
+
+The **workload-tier** math lives here too (:func:`workload_tier`,
+:func:`canonical_targets`): batches whose workload proxy falls in the same
+geometric tier share one canonical padded shape.  Both the compiled-step
+managers (:mod:`repro.tensor.compile`) and the bucket-aware distributed
+sampler (:class:`repro.data.samplers.BucketBatchSampler`) consume it, so
+sampler-planned shapes and compiler-grown shapes agree by construction.
+
+:func:`pad_batch` results are **cached on the source batch** keyed by the
+target shape (small LRU): a memoized loader that yields the same batch
+object every epoch then re-pads for free, and the compiled step binds and
+replays without re-concatenating anything.  Batches are treated as
+read-only once assembled (already required by collate memoization); the
+cache key includes label presence, so padding before labels are attached
+never serves a stale labelless result afterwards.
 """
 
 from __future__ import annotations
 
+import math
+from collections import OrderedDict
 from dataclasses import dataclass, field
-from typing import Callable
+from typing import Callable, Iterable, Sequence
 
 import numpy as np
 
@@ -108,6 +125,10 @@ class GraphBatch:
     pad_info: PadInfo | None = None
     # cache of derived (auxiliary) arrays, keyed by aux key tuples
     _aux: dict = field(default_factory=dict, init=False, repr=False, compare=False)
+    # LRU cache of padded variants of this batch, keyed by (targets, labels?)
+    _pad_cache: OrderedDict = field(
+        default_factory=OrderedDict, init=False, repr=False, compare=False
+    )
 
     @property
     def num_atoms(self) -> int:
@@ -398,17 +419,17 @@ def bucket_size(n: int) -> int:
     return ((n + step - 1) // step) * step
 
 
-def feasible_targets(
-    batch: GraphBatch, targets: tuple[int, int, int, int]
+def feasible_targets_for_counts(
+    counts: tuple[int, int, int, int], targets: tuple[int, int, int, int]
 ) -> tuple[int, int, int, int]:
     """Bump raw padding targets so :func:`pad_batch` can satisfy them.
 
-    Ghost consistency: padding needs at least one ghost atom, angle padding
-    needs two distinct-direction ghost short edges (and edges), short-edge
-    padding needs ghost edges.
+    ``counts`` are the batch's real (atoms, edges, short, angles).  Ghost
+    consistency: padding needs at least one ghost atom, angle padding needs
+    two distinct-direction ghost short edges (and edges), short-edge padding
+    needs ghost edges.
     """
-    n, e = batch.num_atoms, batch.num_edges
-    ns, na = batch.num_short_edges, batch.num_angles
+    n, e, ns, na = counts
     ta, te, ts, tg = targets
     ta = max(ta, n + 1)
     if tg > na:
@@ -416,6 +437,67 @@ def feasible_targets(
     if ts > ns:
         te = max(te, e + 2)
     return ta, te, ts, tg
+
+
+def feasible_targets(
+    batch: GraphBatch, targets: tuple[int, int, int, int]
+) -> tuple[int, int, int, int]:
+    """:func:`feasible_targets_for_counts` on a batch's own counts."""
+    counts = (
+        batch.num_atoms,
+        batch.num_edges,
+        batch.num_short_edges,
+        batch.num_angles,
+    )
+    return feasible_targets_for_counts(counts, targets)
+
+
+# Geometric growth factor between workload tiers: batches whose workload
+# proxy (atoms + edges + short + 2*angles — angle kernels are the widest)
+# falls in the same tier are padded to one shared canonical shape.
+TIER_GROWTH = 1.4
+
+
+def workload_cost(atoms: int, edges: int, short: int, angles: int) -> int:
+    """The padding/compile workload proxy of a batch's raw counts."""
+    return atoms + edges + short + 2 * angles
+
+
+def workload_tier(counts: tuple[int, int, int, int]) -> int:
+    """Geometric tier index of a batch's (atoms, edges, short, angles)."""
+    return int(math.log(max(workload_cost(*counts), 2)) / math.log(TIER_GROWTH))
+
+
+def canonical_targets(
+    members: Iterable[tuple[int, int, int, int]],
+    seeds: Sequence[tuple[int, int, int, int]] = (),
+) -> tuple[int, int, int, int]:
+    """The fixpoint canonical padded shape shared by ``members``.
+
+    Starts from the elementwise max of every member's bucketed counts (and
+    any ``seeds``, e.g. a previously stored canonical shape), then re-applies
+    each member's ghost-feasibility bumps until stable — exactly the shape
+    the compiled-step tier merge converges to after seeing every member, so
+    pre-sizing a tier with this value makes the tier growth-free.
+    """
+    members = [tuple(int(c) for c in m) for m in members]
+    if not members and not seeds:
+        raise ValueError("canonical_targets needs at least one member or seed")
+    targets = (0, 0, 0, 0)
+    for m in members:
+        bucketed = tuple(bucket_size(c) for c in m)
+        targets = tuple(max(a, b) for a, b in zip(targets, bucketed))
+    for s in seeds:
+        targets = tuple(max(a, int(b)) for a, b in zip(targets, s))
+    while True:
+        merged = targets
+        for m in members:
+            merged = tuple(
+                max(a, b) for a, b in zip(merged, feasible_targets_for_counts(m, merged))
+            )
+        if merged == targets:
+            return targets
+        targets = merged
 
 
 def bucket_targets(batch: GraphBatch) -> tuple[int, int, int, int]:
@@ -461,6 +543,11 @@ def pad_to_bucket(batch: GraphBatch) -> GraphBatch:
     return padded
 
 
+# Padded variants kept per source batch: a batch meets at most a handful of
+# canonical tier shapes over its lifetime, so a tiny LRU suffices.
+_PAD_CACHE_CAP = 4
+
+
 def pad_batch(
     batch: GraphBatch, atoms: int, edges: int, short_edges: int, angles: int
 ) -> GraphBatch | None:
@@ -471,9 +558,19 @@ def pad_batch(
     ``None`` when the targets are infeasible (no room for the required ghost
     rows — at least one ghost atom, plus two distinct-direction ghost edges/
     short edges whenever angles or short edges are padded).
+
+    Successful pads are cached on ``batch`` keyed by the targets (and label
+    presence), so memoized loaders re-padding the same batch every epoch get
+    the identical padded object back — including its aux-array cache, which
+    is what lets a compiled step bind and replay with zero re-concatenation.
     """
     if batch.pad_info is not None:
         return None
+    key = (atoms, edges, short_edges, angles, batch.energy_per_atom is not None)
+    cached = batch._pad_cache.get(key)
+    if cached is not None:
+        batch._pad_cache.move_to_end(key)
+        return cached
     n, e = batch.num_atoms, batch.num_edges
     ns, na = batch.num_short_edges, batch.num_angles
     ga, ge = atoms - n, edges - e
@@ -544,4 +641,7 @@ def pad_batch(
         padded.forces = np.concatenate([batch.forces, np.zeros((ga, 3))])
         padded.stress = np.concatenate([batch.stress, np.zeros((1, 3, 3))])
         padded.magmom = np.concatenate([batch.magmom, np.zeros(ga)])
+    batch._pad_cache[key] = padded
+    if len(batch._pad_cache) > _PAD_CACHE_CAP:
+        batch._pad_cache.popitem(last=False)
     return padded

@@ -45,21 +45,23 @@ Managers
 from __future__ import annotations
 
 import heapq
-import math
 import time
 from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Any, Callable
+from typing import Any, Callable, Iterable
 
 import numpy as np
 from scipy.special import expit
 
 from repro.graph.batching import (
     GraphBatch,
+    bucket_size,
     bucket_targets,
+    canonical_targets,
     feasible_targets,
     pad_batch,
     pad_to_bucket,
+    workload_tier,
 )
 from repro.runtime.kernels import profiling_active, record_kernel
 from repro.runtime.memory import record_tape_alloc, record_tape_free
@@ -105,6 +107,42 @@ def _segment_sum_out(out, x, idx, num_segments):
 def _scatter_slice_out(out, x, shape, index):
     out.fill(0)
     out[index] = x
+    return out
+
+
+def _fused_srbf_out(out, r, freqs, rcut, p):
+    from repro.tensor.ops_fused import _envelope_np
+
+    # Same expressions as the eager forward (np.outer == the column-times-row
+    # broadcast below for 1-D operands), so the result is bit-identical.
+    np.multiply(r.reshape(-1, 1), freqs, out=out)
+    np.sin(out, out=out)
+    u = _envelope_np(r / rcut, p)
+    np.multiply((np.sqrt(2.0 / rcut) * u / r)[:, None], out, out=out)
+    return out
+
+
+def _fused_fourier_out(out, theta, order):
+    cos_block = out[:, 1 : order + 1]
+    sin_block = out[:, order + 1 :]
+    n = np.arange(1, order + 1, dtype=theta.dtype)
+    # n*theta lands in the cos block, feeds the sin block, then cos in place.
+    np.multiply(theta.reshape(-1, 1), n, out=cos_block)
+    np.sin(cos_block, out=sin_block)
+    np.cos(cos_block, out=cos_block)
+    np.divide(cos_block, np.sqrt(np.pi), out=cos_block)
+    np.divide(sin_block, np.sqrt(np.pi), out=sin_block)
+    out[:, 0] = 1.0 / np.sqrt(2.0 * np.pi)
+    return out
+
+
+def _fused_layernorm_out(out, x, gamma, beta, eps):
+    mu = x.mean(axis=-1, keepdims=True)
+    xc = np.subtract(x, mu, out=out)
+    var = np.mean(xc * xc, axis=-1, keepdims=True)
+    np.divide(xc, np.sqrt(var + eps), out=out)
+    np.multiply(gamma, out, out=out)
+    np.add(out, beta, out=out)
     return out
 
 
@@ -155,6 +193,9 @@ _OUT_IMPLS: dict[str, Callable] = {
     "gather": lambda out, x, idx: np.take(x, idx, axis=0, out=out),
     "segment_sum": _segment_sum_out,
     "scatter_slice": _scatter_slice_out,
+    "fused_srbf": _fused_srbf_out,
+    "fused_fourier": _fused_fourier_out,
+    "fused_layernorm": _fused_layernorm_out,
 }
 
 # Chainable elementwise kernels: same-shape outputs, out= capable, safe to
@@ -681,18 +722,17 @@ def program_signature(batch: GraphBatch, serial: bool, mode: str) -> tuple:
     return sig
 
 
-# Geometric growth factor between workload tiers: batches whose workload
-# proxy (atoms + edges + short + 2*angles — angle kernels are the widest)
-# falls in the same tier are padded to one shared canonical shape.
-_TIER_GROWTH = 1.4
-
-
-def _workload_cost(atoms: int, edges: int, short: int, angles: int) -> int:
-    return atoms + edges + short + 2 * angles
-
-
 class _CompilerBase:
-    """Program cache + guards shared by the train/inference compilers."""
+    """Program cache + guards shared by the train/inference compilers.
+
+    Subclasses implement the four mode-specific hooks (``_mode``,
+    :meth:`_fallback`, :meth:`_capture`, :meth:`_replay`); the shared
+    :meth:`_execute` template drives the capture -> guard -> fallback flow
+    so the two managers cannot drift apart.
+    """
+
+    #: program_signature mode tag; subclasses override.
+    _mode = "train"
 
     def __init__(self, model, bucket: bool, max_programs: int) -> None:
         self.model = model
@@ -727,7 +767,7 @@ class _CompilerBase:
         Independent per-dimension buckets rarely coincide jointly — a
         shuffled long-tail loader would compile a fresh program nearly every
         step.  Batches are therefore grouped into geometric **workload
-        tiers** (factor ``_TIER_GROWTH`` in the atoms+edges+angles proxy);
+        tiers** (``graph.batching.TIER_GROWTH`` in the workload proxy);
         each tier keeps one canonical shape, the running elementwise max of
         its members' bucketed counts.  Shapes grow monotonically and
         converge after one pass over the data, after which every batch of a
@@ -747,10 +787,11 @@ class _CompilerBase:
         if self.model.config.batched_basis:
             # Serial (Algorithm 1) programs hard-code per-sample offsets, so
             # cross-batch sharing is impossible there — tier only here.
-            tier = int(
-                math.log(max(_workload_cost(*dims), 2)) / math.log(_TIER_GROWTH)
+            key = (
+                batch.num_structs + 1,
+                batch.energy_per_atom is not None,
+                workload_tier(dims),
             )
-            key = (batch.num_structs + 1, batch.energy_per_atom is not None, tier)
             stored = self._canonical.get(key)
             if stored is not None:
                 # Merging with the tier's canonical shape can re-introduce
@@ -763,6 +804,76 @@ class _CompilerBase:
         padded = pad_batch(batch, *targets)
         assert padded is not None
         return padded
+
+    def warm_start(
+        self, entries: Iterable[tuple[int, bool, tuple[int, int, int, int]]]
+    ) -> int:
+        """Pre-size canonical tier shapes from dataset statistics.
+
+        ``entries`` describe the raw batches this compiler will see:
+        ``(num_structs, has_labels, (atoms, edges, short, angles))`` each.
+        Tier shapes normally grow as bigger batches arrive, recompiling once
+        per growth; seeding every tier with the fixpoint canonical shape of
+        its members (:func:`repro.graph.batching.canonical_targets`) makes
+        the first epoch replay-only after a single capture per tier.
+        Returns the number of tiers seeded.
+        """
+        if not self.bucket or not self.model.config.batched_basis:
+            return 0
+        groups: dict[tuple, list[tuple[int, int, int, int]]] = {}
+        for num_structs, has_labels, dims in entries:
+            dims = tuple(int(d) for d in dims)
+            if tuple(bucket_size(d) for d in dims) == dims:
+                continue  # already on every boundary; never enters the merge
+            key = (num_structs + 1, bool(has_labels), workload_tier(dims))
+            groups.setdefault(key, []).append(dims)
+        for key, members in groups.items():
+            stored = self._canonical.get(key)
+            seeds = (stored,) if stored is not None else ()
+            self._canonical[key] = canonical_targets(members, seeds=seeds)
+        return len(groups)
+
+    # ------------------------------------------------------- shared step flow
+    def _execute(self, batch: GraphBatch):
+        """One step: pad, look up the program, replay — or capture/fall back.
+
+        The template method both managers run.  Mode-specific behavior lives
+        in ``_fallback`` (full eager step), ``_capture`` (trace one eager
+        step into a program) and ``_replay`` (execute a bound program);
+        every guard failure funnels into the eager fallback.
+        """
+        self._check_guard()
+        batch = self._pad(batch)
+        sig = program_signature(batch, not self.model.config.batched_basis, self._mode)
+        if sig in self._unsupported:
+            self.stats.eager_fallbacks += 1
+            return self._fallback(batch)
+        prog = self._programs.get(sig)
+        if prog is None:
+            try:
+                return self._capture(sig, batch)
+            except TraceUnsupported:
+                self._unsupported.add(sig)
+                self.stats.unsupported += 1
+                self.stats.eager_fallbacks += 1
+                return self._fallback(batch)
+        self._programs.move_to_end(sig)
+        reason = prog.bind(batch, self.params)
+        if reason is not None:
+            self._programs.pop(sig)
+            prog.release()
+            self.stats.eager_fallbacks += 1
+            return self._fallback(batch)
+        return self._replay(prog, batch)
+
+    def _fallback(self, batch: GraphBatch):
+        raise NotImplementedError
+
+    def _capture(self, sig: tuple, batch: GraphBatch):
+        raise NotImplementedError
+
+    def _replay(self, prog: CompiledStep, batch: GraphBatch):
+        raise NotImplementedError
 
     def _store(self, sig: tuple, prog: CompiledStep) -> None:
         self._programs[sig] = prog
@@ -824,29 +935,10 @@ class StepCompiler(_CompilerBase):
 
     def step(self, batch: GraphBatch):
         """One forward/loss/backward; returns the LossBreakdown."""
-        self._check_guard()
-        batch = self._pad(batch)
-        sig = program_signature(batch, not self.model.config.batched_basis, "train")
-        if sig in self._unsupported:
-            self.stats.eager_fallbacks += 1
-            return self._eager(batch)[0]
-        prog = self._programs.get(sig)
-        if prog is None:
-            try:
-                return self._capture(sig, batch)
-            except TraceUnsupported:
-                self._unsupported.add(sig)
-                self.stats.unsupported += 1
-                self.stats.eager_fallbacks += 1
-                return self._eager(batch)[0]
-        self._programs.move_to_end(sig)
-        reason = prog.bind(batch, self.params)
-        if reason is not None:
-            self._programs.pop(sig)
-            prog.release()
-            self.stats.eager_fallbacks += 1
-            return self._eager(batch)[0]
-        return self._replay(prog, batch)
+        return self._execute(batch)
+
+    def _fallback(self, batch: GraphBatch):
+        return self._eager(batch)[0]
 
     def _capture(self, sig: tuple, batch: GraphBatch):
         trace = TapeTrace(batch, self.params)
@@ -915,6 +1007,8 @@ class InferenceCompiler(_CompilerBase):
     the real (un-padded) rows; the views are valid until the next call.
     """
 
+    _mode = "infer"
+
     def __init__(self, model, bucket: bool = True, max_programs: int = 8) -> None:
         super().__init__(model, bucket, max_programs)
 
@@ -925,39 +1019,26 @@ class InferenceCompiler(_CompilerBase):
         return self.model.forward(batch, training=False)
 
     def run(self, batch: GraphBatch) -> dict[str, np.ndarray]:
-        self._check_guard()
-        batch = self._pad(batch)
-        sig = program_signature(batch, not self.model.config.batched_basis, "infer")
-        if sig in self._unsupported:
-            self.stats.eager_fallbacks += 1
-            return self._slice_real(self._output_arrays(self._forward(batch)), batch)
-        prog = self._programs.get(sig)
-        if prog is None:
-            try:
-                trace = TapeTrace(batch, self.params)
-                with _traced(trace):
-                    output = self._forward(batch)
-                outputs = {
-                    "energy": trace.slot_of(output.energy_per_atom.data),
-                    "forces": trace.slot_of(output.forces.data),
-                    "stress": trace.slot_of(output.stress.data),
-                    "magmom": trace.slot_of(output.magmom.data),
-                }
-                self._store(sig, CompiledStep(trace, outputs, len(self.params)))
-                self.stats.captures += 1
-                return self._slice_real(self._output_arrays(output), batch)
-            except TraceUnsupported:
-                self._unsupported.add(sig)
-                self.stats.unsupported += 1
-                self.stats.eager_fallbacks += 1
-                return self._slice_real(self._output_arrays(self._forward(batch)), batch)
-        self._programs.move_to_end(sig)
-        reason = prog.bind(batch, self.params)
-        if reason is not None:
-            self._programs.pop(sig)
-            prog.release()
-            self.stats.eager_fallbacks += 1
-            return self._slice_real(self._output_arrays(self._forward(batch)), batch)
+        return self._execute(batch)
+
+    def _fallback(self, batch: GraphBatch):
+        return self._slice_real(self._output_arrays(self._forward(batch)), batch)
+
+    def _capture(self, sig: tuple, batch: GraphBatch):
+        trace = TapeTrace(batch, self.params)
+        with _traced(trace):
+            output = self._forward(batch)
+        outputs = {
+            "energy": trace.slot_of(output.energy_per_atom.data),
+            "forces": trace.slot_of(output.forces.data),
+            "stress": trace.slot_of(output.stress.data),
+            "magmom": trace.slot_of(output.magmom.data),
+        }
+        self._store(sig, CompiledStep(trace, outputs, len(self.params)))
+        self.stats.captures += 1
+        return self._slice_real(self._output_arrays(output), batch)
+
+    def _replay(self, prog: CompiledStep, batch: GraphBatch):
         prog.replay()
         self.stats.replays += 1
         return self._slice_real(prog.output_arrays(), batch)

@@ -1,6 +1,11 @@
 """Training harness: loss, optimizers, schedules, trainers, metrics."""
 
-from repro.train.distributed import DistributedConfig, DistributedTrainer, StepStats
+from repro.train.distributed import (
+    DistributedConfig,
+    DistributedTrainer,
+    GradientBuckets,
+    StepStats,
+)
 from repro.train.loss import CompositeLoss, LossBreakdown, LossWeights
 from repro.train.metrics import EvalResult, ParityData, evaluate, mae, r_squared
 from repro.train.optimizer import SGD, Adam, Optimizer
@@ -16,6 +21,7 @@ from repro.train.trainer import EpochRecord, TrainConfig, Trainer
 __all__ = [
     "DistributedConfig",
     "DistributedTrainer",
+    "GradientBuckets",
     "StepStats",
     "CompositeLoss",
     "LossBreakdown",

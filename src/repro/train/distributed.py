@@ -7,6 +7,32 @@ everywhere.  Replicas provably stay bit-identical (tested), which is the
 invariant real DDP maintains.  Wall-clock behavior of a *cluster* is modeled
 separately (:mod:`repro.comm.scaling`) from measured per-rank compute plus
 the alpha-beta communication model.
+
+``DistributedConfig(compile=True)`` runs the path the paper's 1.5-hour
+result rests on, end to end:
+
+* the :class:`~repro.data.samplers.BucketBatchSampler` forms size-sorted
+  global blocks with fixed load-balanced shards and plans one canonical
+  padded shape per workload tier;
+* the :class:`~repro.data.loader.ShardedLoader` pads every shard to its
+  planned shape (cached on the source batch), so all ranks of a step carry
+  tier-equal static shapes;
+* each rank owns a :class:`~repro.tensor.compile.StepCompiler` with its own
+  program cache; shard shapes are static by construction, so the first
+  epoch captures once per tier and replays everything else (when shards
+  arrive unpadded — ``pad_shards=False`` — the compilers are instead
+  warm-started from the sampler's tier statistics to the same effect);
+* the backward's gradients are flushed through **liveness-ordered buckets**
+  (:class:`GradientBuckets`): each bucket is mean-allreduced through the
+  communicator's in-place collective as soon as its gradients are complete,
+  and the same bucket layout (per-bucket bytes + ready times) feeds the
+  alpha-beta overlap model (:meth:`DistributedTrainer.modeled_overlap`)
+  instead of the uniform spread.
+
+The compiled path is bit-identical to the eager distributed path on the
+same padded shards (``pad_shards=True`` forces the eager comparison run
+through the identical pipeline), and replicas stay bitwise in sync either
+way.
 """
 
 from __future__ import annotations
@@ -18,9 +44,10 @@ from typing import Callable
 import numpy as np
 
 from repro.comm.communicator import SimCommunicator
+from repro.comm.cost_model import ClusterSpec, OverlapResult, simulate_overlap
 from repro.data.dataset import StructureDataset
 from repro.data.loader import ShardedLoader
-from repro.data.samplers import DefaultSampler, LoadBalanceSampler
+from repro.data.samplers import BucketBatchSampler, DefaultSampler, LoadBalanceSampler
 from repro.graph.batching import GraphBatch
 from repro.model.chgnet import CHGNetModel
 from repro.train.loss import CompositeLoss, LossWeights
@@ -30,7 +57,26 @@ from repro.train.schedule import CosineAnnealingLR, scaled_learning_rate
 
 @dataclass
 class DistributedConfig:
-    """Configuration of a simulated multi-GPU run."""
+    """Configuration of a simulated multi-GPU run.
+
+    ``compile=True`` switches every rank to compile-once training steps over
+    bucket-sampled, tier-padded shards (see the module docstring); the
+    companion knobs default to "follow ``compile``" so the eager comparison
+    pipeline can be forced explicitly:
+
+    * ``bucket_sampler`` — use the size-bucketed sampler (``None``: iff
+      compiling; the legacy ``load_balance`` flag picks the sampler
+      otherwise);
+    * ``pad_shards`` — pad shards to the sampler's planned canonical shapes
+      (``None``: iff compiling).  Forcing ``True`` on an eager run yields a
+      pipeline bit-identical to the compiled one;
+    * ``memoize_shards`` — reuse collated shard batches across epochs
+      (``None``: iff compiling; shards are static under the bucket sampler,
+      so with the padded-batch cache repeat epochs bind-and-replay);
+    * ``n_buckets`` — gradient-flush buckets for the overlapped allreduce;
+    * ``validate_replay`` — re-run every replayed step eagerly and assert
+      bitwise equality (test harness).
+    """
 
     world_size: int = 4
     global_batch_size: int = 32
@@ -41,6 +87,12 @@ class DistributedConfig:
     loss_weights: LossWeights = field(default_factory=LossWeights)
     huber_delta: float = 0.1
     seed: int = 0
+    compile: bool = False
+    n_buckets: int = 8
+    bucket_sampler: bool | None = None
+    pad_shards: bool | None = None
+    memoize_shards: bool | None = None
+    validate_replay: bool = False
 
     def resolve_lr(self) -> float:
         if self.learning_rate is not None:
@@ -50,6 +102,17 @@ class DistributedConfig:
         from repro.train.schedule import BASE_LR
 
         return BASE_LR
+
+    def use_bucket_sampler(self) -> bool:
+        return self.compile if self.bucket_sampler is None else self.bucket_sampler
+
+    def use_pad_shards(self) -> bool:
+        return self.compile if self.pad_shards is None else self.pad_shards
+
+    def resolve_memoize(self) -> bool | None:
+        if self.memoize_shards is None:
+            return True if self.compile else None
+        return self.memoize_shards
 
 
 @dataclass
@@ -61,6 +124,62 @@ class StepStats:
     force_mae: float
     rank_compute_seconds: np.ndarray
     rank_feature_numbers: np.ndarray
+
+
+class GradientBuckets:
+    """Liveness-ordered gradient buckets for the overlapped allreduce flush.
+
+    Parameters are walked in **reverse construction order** — the order their
+    gradients become complete during the backward pass (outputs first) — and
+    greedily packed into at most ``n_buckets`` near-equal-byte groups.
+    Parameters that can never receive gradients (the trainer's cached
+    trainable mask) are excluded entirely instead of being zero-filled and
+    averaged for nothing.
+
+    ``ready_fractions`` approximates when each bucket's gradients are
+    complete as the cumulative byte share of the backward pass — the
+    per-bucket timings the alpha-beta overlap model consumes in place of a
+    uniform spread.
+    """
+
+    def __init__(self, params: list, trainable: list[bool], n_buckets: int) -> None:
+        if n_buckets < 1:
+            raise ValueError(f"n_buckets must be >= 1, got {n_buckets}")
+        order = [i for i in reversed(range(len(params))) if trainable[i]]
+        if not order:
+            raise ValueError("no trainable parameters to bucket")
+        sizes = {i: int(params[i].data.nbytes) for i in order}
+        self.total_bytes = sum(sizes.values())
+        n_buckets = min(n_buckets, len(order))
+        target = self.total_bytes / n_buckets
+        self.buckets: list[list[int]] = []
+        current: list[int] = []
+        current_bytes = 0
+        for i in order:
+            current.append(i)
+            current_bytes += sizes[i]
+            if current_bytes >= target and len(self.buckets) < n_buckets - 1:
+                self.buckets.append(current)
+                current, current_bytes = [], 0
+        if current:
+            self.buckets.append(current)
+        self.bucket_bytes = [
+            float(sum(sizes[i] for i in bucket)) for bucket in self.buckets
+        ]
+
+    @property
+    def n_buckets(self) -> int:
+        return len(self.buckets)
+
+    @property
+    def ready_fractions(self) -> list[float]:
+        """Cumulative backward-progress fraction at which each bucket is ready."""
+        acc = 0.0
+        out = []
+        for b in self.bucket_bytes:
+            acc += b
+            out.append(acc / self.total_bytes)
+        return out
 
 
 class DistributedTrainer:
@@ -82,50 +201,84 @@ class DistributedTrainer:
         self.comm = SimCommunicator(cfg.world_size)
         self.loss_fn = CompositeLoss(cfg.loss_weights, cfg.huber_delta)
         lr = cfg.resolve_lr()
-        self.optimizers = [Adam(rep.parameters(), lr=lr) for rep in self.replicas]
+        self._params = [rep.parameters() for rep in self.replicas]
+        self.optimizers = [Adam(params, lr=lr) for params in self._params]
 
-        sampler_cls = LoadBalanceSampler if cfg.load_balance else DefaultSampler
-        self.sampler = sampler_cls(
-            train_dataset.feature_numbers,
-            cfg.global_batch_size,
-            cfg.world_size,
-            seed=cfg.seed,
+        if cfg.use_bucket_sampler():
+            self.sampler = BucketBatchSampler(
+                train_dataset.feature_numbers,
+                cfg.global_batch_size,
+                cfg.world_size,
+                seed=cfg.seed,
+                dims=getattr(train_dataset, "graph_dims", None),
+            )
+        else:
+            sampler_cls = LoadBalanceSampler if cfg.load_balance else DefaultSampler
+            self.sampler = sampler_cls(
+                train_dataset.feature_numbers,
+                cfg.global_batch_size,
+                cfg.world_size,
+                seed=cfg.seed,
+            )
+        self.loader = ShardedLoader(
+            train_dataset,
+            self.sampler,
+            memoize=cfg.resolve_memoize(),
+            pad=cfg.use_pad_shards(),
         )
-        self.loader = ShardedLoader(train_dataset, self.sampler)
+
+        self.compilers = None
+        if cfg.compile:
+            from repro.tensor.compile import StepCompiler
+
+            self.compilers = [
+                StepCompiler(rep, self.loss_fn, validate=cfg.validate_replay)
+                for rep in self.replicas
+            ]
+            # Pre-padded shards (the default) carry the sampler's static
+            # tier shapes, so the compilers' own tiering never runs; only
+            # when shards arrive raw do the canonical shapes need seeding.
+            entries_fn = getattr(self.sampler, "warm_start_entries", None)
+            if entries_fn is not None and not cfg.use_pad_shards():
+                entries = entries_fn(has_labels=True)
+                for compiler in self.compilers:
+                    compiler.warm_start(entries)
+
         total_steps = max(1, len(self.loader) * cfg.epochs)
         self.schedulers = [
             CosineAnnealingLR(opt, total_steps, eta_min=0.01 * lr) for opt in self.optimizers
         ]
         self.steps: list[StepStats] = []
+        # Built on the first step, once gradients reveal the trainable set.
+        self._trainable: list[bool] | None = None
+        self._buckets: GradientBuckets | None = None
+        self._flush_work: list[np.ndarray | None] = []
 
     def train_step(self, shards: list[GraphBatch]) -> StepStats:
-        """One synchronized step: local grads, allreduce, identical updates."""
+        """One synchronized step: local grads, bucketed allreduce, updates."""
         cfg = self.config
         if len(shards) != cfg.world_size:
             raise ValueError(f"{len(shards)} shards for {cfg.world_size} ranks")
-        per_rank_grads: list[list[np.ndarray]] = []
         compute_times = np.zeros(cfg.world_size)
         losses = np.zeros(cfg.world_size)
         e_maes = np.zeros(cfg.world_size)
         f_maes = np.zeros(cfg.world_size)
         for rank, (model, batch) in enumerate(zip(self.replicas, shards)):
             t0 = time.perf_counter()
-            model.zero_grad()
-            out = model.forward(batch, training=True)
-            breakdown = self.loss_fn(out, batch)
-            breakdown.loss.backward()
+            if self.compilers is not None:
+                breakdown = self.compilers[rank].step(batch)
+            else:
+                model.zero_grad()
+                out = model.forward(batch, training=True)
+                breakdown = self.loss_fn(out, batch)
+                breakdown.loss.backward()
             compute_times[rank] = time.perf_counter() - t0
             losses[rank] = float(breakdown.loss.data)
             e_maes[rank] = breakdown.energy_mae
             f_maes[rank] = breakdown.force_mae
-            grads = []
-            for p in model.parameters():
-                grads.append(np.zeros_like(p.data) if p.grad is None else p.grad.data)
-            per_rank_grads.append(grads)
 
-        averaged = self.comm.allreduce_mean_lists(per_rank_grads)
-        for rank, (opt, sched) in enumerate(zip(self.optimizers, self.schedulers)):
-            opt.set_gradients(averaged[rank])
+        self._flush_gradients()
+        for opt, sched in zip(self.optimizers, self.schedulers):
             opt.step()
             sched.step()
 
@@ -138,6 +291,71 @@ class DistributedTrainer:
         )
         self.steps.append(stats)
         return stats
+
+    # ------------------------------------------------------------ grad flush
+    def _flush_gradients(self) -> None:
+        """Bucketed mean-allreduce of the just-written gradients, in place.
+
+        Buckets are flushed in liveness order (the order backward completes
+        them), through the communicator's in-place collective with
+        per-parameter scratch reused across steps; the averaged gradients
+        land directly in every replica's ``.grad`` arrays.  Parameters the
+        model never grads are skipped via the mask cached on the first step
+        (instead of being zero-filled, averaged and re-assigned every step).
+        """
+        params0 = self._params[0]
+        if self._buckets is None:
+            self._trainable = [p.grad is not None for p in params0]
+            self._buckets = GradientBuckets(
+                params0, self._trainable, self.config.n_buckets
+            )
+            self._flush_work = [None] * len(params0)
+        world = range(self.config.world_size)
+        for bucket in self._buckets.buckets:
+            for i in bucket:
+                grads = [self._params[r][i].grad.data for r in world]
+                self._flush_work[i] = self.comm.allreduce_mean_inplace(
+                    grads, self._flush_work[i]
+                )
+
+    def modeled_overlap(
+        self, spec: ClusterSpec, backward_time: float | None = None
+    ) -> OverlapResult:
+        """Alpha-beta overlap of the real bucket layout behind the backward.
+
+        Feeds the liveness-ordered per-bucket payloads and byte-weighted
+        ready times (not a uniform spread) into
+        :func:`repro.comm.cost_model.simulate_overlap`.  ``backward_time``
+        defaults to 2/3 of the mean max-rank compute measured so far.
+        """
+        if self._buckets is None:
+            raise RuntimeError("run at least one training step first")
+        if backward_time is None:
+            if not self.steps:
+                raise RuntimeError("no measured steps to derive backward_time from")
+            mean_compute = float(
+                np.mean([s.rank_compute_seconds.max() for s in self.steps])
+            )
+            backward_time = 2.0 / 3.0 * mean_compute
+        buckets = self._buckets
+        return simulate_overlap(
+            backward_time=backward_time,
+            grad_bytes=buckets.total_bytes,
+            world_size=self.config.world_size,
+            spec=spec,
+            bucket_bytes=buckets.bucket_bytes,
+            ready_times=[f * backward_time for f in buckets.ready_fractions],
+        )
+
+    def compile_stats(self) -> dict[str, int] | None:
+        """Aggregated per-rank compiler counters (``None`` when eager)."""
+        if self.compilers is None:
+            return None
+        totals: dict[str, int] = {}
+        for compiler in self.compilers:
+            for key, value in compiler.stats.as_dict().items():
+                totals[key] = totals.get(key, 0) + value
+        return totals
 
     def train_epoch(self) -> list[StepStats]:
         return [self.train_step(shards) for shards in self.loader]

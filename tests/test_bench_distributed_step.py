@@ -1,0 +1,47 @@
+"""The distributed-step benchmark's smoke mode must always run end-to-end."""
+
+from __future__ import annotations
+
+import importlib.util
+import json
+import sys
+from pathlib import Path
+
+import pytest
+
+BENCH = Path(__file__).resolve().parents[1] / "benchmarks" / "bench_distributed_step.py"
+
+
+@pytest.fixture(scope="module")
+def bench_module():
+    spec = importlib.util.spec_from_file_location("bench_distributed_step", BENCH)
+    module = importlib.util.module_from_spec(spec)
+    sys.modules[spec.name] = module
+    spec.loader.exec_module(module)
+    return module
+
+
+def test_smoke_runs_end_to_end(bench_module, tmp_path):
+    out = tmp_path / "BENCH_distributed_step.json"
+    results = bench_module.main(["--smoke", "--out", str(out)])
+
+    assert results["mode"] == "smoke"
+    r = results["workloads"]["medium"]
+    assert r["eager_steps_per_s"] > 0 and r["compiled_steps_per_s"] > 0
+    assert r["speedup"] > 0
+    # the compiled run replayed, stayed within the warm-started tier budget
+    # and never fell back to eager
+    assert r["replays"] > 0
+    assert r["eager_fallbacks"] == 0
+    assert r["warm_tiers"] >= 1
+    assert r["within_tier_budget"] is True
+    # bucket-planned padding keeps ghost waste bounded
+    assert 0.0 <= r["padding_waste"] < 0.5
+    # modeled exposed communication is a sane fraction
+    assert 0.0 <= r["exposed_comm_fraction"] < 1.0
+    # compiled weights/losses bit-equal to the eager padded pipeline
+    assert r["bitwise_equal"] is True
+    assert results["medium_bitwise_equal"] is True
+    # the JSON artifact round-trips
+    on_disk = json.loads(out.read_text())
+    assert on_disk["medium_speedup"] == results["medium_speedup"]

@@ -159,10 +159,9 @@ class TestTierSharing:
         )
         # Poison every tier's canonical shape with angle padding but zero
         # short-edge slack relative to this batch.
-        from repro.tensor.compile import _TIER_GROWTH, _workload_cost
-        import math
+        from repro.graph.batching import workload_tier
 
-        tier = int(math.log(max(_workload_cost(*dims), 2)) / math.log(_TIER_GROWTH))
+        tier = workload_tier(dims)
         key = (batch.num_structs + 1, True, tier)
         comp._canonical[key] = (dims[0] + 1, dims[1], dims[2], dims[3] + 4)
         padded = comp._pad(batch)
@@ -280,6 +279,105 @@ class TestPadding:
                 assert g1 is None
             else:
                 assert np.allclose(g0, g1, rtol=1e-9, atol=1e-12)
+
+
+class TestPadCache:
+    def test_same_targets_hit_same_object(self, dataset):
+        from repro.graph.batching import bucket_targets, pad_batch
+
+        batch = dataset.batch([0, 1, 2])
+        targets = bucket_targets(batch)
+        a = pad_batch(batch, *targets)
+        b = pad_batch(batch, *targets)
+        assert a is not None and a is b
+        # pad_to_bucket funnels through the same cache
+        assert pad_to_bucket(dataset.batch([0, 1, 2])) is not None
+
+    def test_distinct_targets_distinct_objects(self, dataset):
+        from repro.graph.batching import bucket_targets, feasible_targets, pad_batch
+
+        batch = dataset.batch([0, 1, 2])
+        t1 = bucket_targets(batch)
+        t2 = feasible_targets(batch, tuple(t + 16 for t in t1))
+        a = pad_batch(batch, *t1)
+        b = pad_batch(batch, *t2)
+        assert a is not b
+        assert (b.num_atoms, b.num_edges) == (t2[0], t2[1])
+
+    def test_label_attachment_invalidates(self, dataset):
+        """Padding before labels are attached must not serve the labelless
+        pad afterwards (collate assigns labels post-construction)."""
+        from repro.graph.batching import bucket_targets, collate, pad_batch
+
+        graphs = [dataset.graphs[0], dataset.graphs[1]]
+        batch = collate(graphs)  # no labels
+        targets = bucket_targets(batch)
+        unlabeled = pad_batch(batch, *targets)
+        assert unlabeled.energy_per_atom is None
+        labeled_src = dataset.batch([0, 1])
+        batch.energy_per_atom = labeled_src.energy_per_atom
+        batch.forces = labeled_src.forces
+        batch.stress = labeled_src.stress
+        batch.magmom = labeled_src.magmom
+        labeled = pad_batch(batch, *targets)
+        assert labeled is not unlabeled
+        assert labeled.energy_per_atom is not None
+
+    def test_infeasible_targets_not_cached(self, dataset):
+        from repro.graph.batching import pad_batch
+
+        batch = dataset.batch([0, 1])
+        assert pad_batch(batch, batch.num_atoms, 0, 0, 0) is None
+        assert not batch._pad_cache
+
+    def test_lru_cap_bounds_cache(self, dataset):
+        from repro.graph.batching import _PAD_CACHE_CAP, feasible_targets, pad_batch
+
+        batch = dataset.batch([0, 1])
+        base = (batch.num_atoms, batch.num_edges, batch.num_short_edges, batch.num_angles)
+        for k in range(_PAD_CACHE_CAP + 3):
+            targets = feasible_targets(batch, tuple(c + 8 * (k + 1) for c in base))
+            assert pad_batch(batch, *targets) is not None
+        assert len(batch._pad_cache) == _PAD_CACHE_CAP
+
+
+class TestWarmStart:
+    def test_warm_started_tiers_capture_once_and_never_grow(self, dataset):
+        """Seeding _canonical from dataset stats makes the first pass over
+        shuffled batches one capture per tier, replay afterwards."""
+        model = _model(OptLevel.DECOMPOSE_FS)
+        index_sets = ([0, 1, 2, 3], [4, 5, 6, 7], [8, 9, 10, 11], [12, 13, 3, 5])
+        entries = []
+        for idx in index_sets:
+            b = dataset.batch(idx)
+            entries.append(
+                (
+                    b.num_structs,
+                    True,
+                    (b.num_atoms, b.num_edges, b.num_short_edges, b.num_angles),
+                )
+            )
+        comp = StepCompiler(model, CompositeLoss(), validate=True)
+        n_tiers = comp.warm_start(entries)
+        assert n_tiers >= 1
+        canonical_before = dict(comp._canonical)
+        for _ in range(2):
+            for idx in index_sets:
+                comp.step(dataset.batch(idx))
+        assert comp.stats.captures <= n_tiers
+        assert comp.stats.eager_fallbacks == 0
+        # warm-started shapes were exact: nothing grew
+        for key, val in canonical_before.items():
+            assert comp._canonical[key] == val
+
+    def test_warm_start_noop_for_serial_or_unbucketed(self, dataset):
+        entry = [(4, True, (40, 400, 60, 200))]
+        serial = StepCompiler(_model(OptLevel.BASELINE), CompositeLoss())
+        assert serial.warm_start(entry) == 0
+        unbucketed = StepCompiler(
+            _model(OptLevel.DECOMPOSE_FS), CompositeLoss(), bucket=False
+        )
+        assert unbucketed.warm_start(entry) == 0
 
 
 class TestCompiledInference:

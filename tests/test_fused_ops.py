@@ -216,3 +216,79 @@ class TestFusedScaleShift:
     def test_gradcheck(self, rng):
         x = Tensor(rng.normal(size=(4,)))
         check_grad(lambda a: tsum(fused_scale_shift(a, 3.0, -1.0)), [x])
+
+
+class TestFusedOutKernels:
+    """out= implementations of the fused basis ops (arena replay path).
+
+    Each must write into a caller-provided buffer the exact bits the eager
+    forward produces — these are what compiled replays launch instead of the
+    allocating forwards.
+    """
+
+    def _out_for(self, eager: np.ndarray) -> np.ndarray:
+        return np.full_like(eager, np.nan)  # poisoned: every cell must be written
+
+    def test_fused_srbf_out_bit_identical(self, rng):
+        from repro.tensor.compile import _OUT_IMPLS
+
+        r = rng.uniform(0.5, 5.5, size=(23,))
+        freqs = np.arange(1, 8) * np.pi / 6.0
+        eager = fused_srbf(Tensor(r), Tensor(freqs), rcut=6.0, p=8.0).data
+        out = self._out_for(eager)
+        res = _OUT_IMPLS["fused_srbf"](out, r, freqs, rcut=6.0, p=8.0)
+        assert res is out
+        assert np.array_equal(out, eager)
+
+    def test_fused_fourier_out_bit_identical(self, rng):
+        from repro.tensor.compile import _OUT_IMPLS
+
+        theta = rng.uniform(0.0, np.pi, size=(17,))
+        eager = fused_fourier(Tensor(theta), order=5).data
+        out = self._out_for(eager)
+        res = _OUT_IMPLS["fused_fourier"](out, theta, order=5)
+        assert res is out
+        assert np.array_equal(out, eager)
+
+    def test_fused_layernorm_out_bit_identical(self, rng):
+        from repro.tensor.compile import _OUT_IMPLS
+
+        x = rng.normal(size=(9, 6))
+        gamma = rng.normal(size=(6,))
+        beta = rng.normal(size=(6,))
+        eager = fused_layernorm(Tensor(x), Tensor(gamma), Tensor(beta)).data
+        out = self._out_for(eager)
+        res = _OUT_IMPLS["fused_layernorm"](out, x, gamma, beta, eps=1e-5)
+        assert res is out
+        assert np.array_equal(out, eager)
+
+    def test_fused_basis_instrs_get_arena_buffers(self):
+        """In a captured FUSED-level program the fused basis launches write
+        into arena buffers instead of allocating internally."""
+        from repro.data.dataset import StructureDataset
+        from repro.data.mptrj import generate_mptrj
+        from repro.model import CHGNetConfig, CHGNetModel, OptLevel
+        from repro.tensor.compile import StepCompiler
+        from repro.train.loss import CompositeLoss
+
+        cfg = CHGNetConfig(
+            atom_fea_dim=8,
+            bond_fea_dim=8,
+            angle_fea_dim=8,
+            num_radial=5,
+            angular_order=2,
+            hidden_dim=8,
+            opt_level=OptLevel.FUSED,
+        )
+        ds = StructureDataset(generate_mptrj(6, seed=3, max_atoms=6))
+        model = CHGNetModel(cfg, np.random.default_rng(1))
+        comp = StepCompiler(model, CompositeLoss())
+        comp.step(ds.batch([0, 1, 2, 3]))
+        (prog,) = comp._programs.values()
+        fused_names = {"fused_srbf", "fused_fourier", "fused_layernorm"}
+        seen = {
+            ins.name: ins for ins in prog.instrs if ins.name in fused_names
+        }
+        assert fused_names <= set(seen)
+        assert all(ins.buf >= 0 and ins.out_impl is not None for ins in seen.values())
+        comp.release()

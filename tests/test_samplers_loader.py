@@ -8,6 +8,7 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.data import (
+    BucketBatchSampler,
     DataLoader,
     DefaultSampler,
     LoadBalanceSampler,
@@ -130,6 +131,184 @@ def test_property_load_balance_partition(n, world, seed):
     if batch_features.max() <= loads.mean():
         assert coefficient_of_variation(loads) < 1.0
     assert loads.max() <= loads.mean() + (len(shards[0]) / 2) * batch_features.max() + 1e-6
+
+
+def longtail_dims(n: int, seed: int = 0) -> np.ndarray:
+    """Plausible per-graph (atoms, edges, short, angles) with a long tail."""
+    rng = np.random.default_rng(seed)
+    atoms = np.exp(rng.normal(np.log(12), 0.8, size=n)).astype(np.int64) + 2
+    edges = atoms * rng.integers(8, 14, size=n)
+    short = (edges * 0.3).astype(np.int64) + 2
+    angles = short * rng.integers(2, 6, size=n)
+    return np.stack([atoms, edges, short, angles], axis=1)
+
+
+class TestBucketBatchSampler:
+    def _features(self, dims: np.ndarray) -> np.ndarray:
+        return dims[:, 0] + dims[:, 1] + dims[:, 3]
+
+    def test_every_sample_once_per_epoch(self):
+        dims = longtail_dims(64)
+        sampler = BucketBatchSampler(self._features(dims), 16, 4, seed=1, dims=dims)
+        for epoch in range(3):
+            seen = np.concatenate(
+                [np.concatenate(s) for s in sampler.epoch_partitions(epoch)]
+            )
+            assert sorted(seen.tolist()) == list(range(64))
+
+    def test_epochs_shuffle_block_order_not_membership(self):
+        dims = longtail_dims(64, seed=2)
+        sampler = BucketBatchSampler(self._features(dims), 16, 4, seed=1, dims=dims)
+        blocks0 = [frozenset(b.tolist()) for b in sampler.global_batches(0)]
+        blocks1 = [frozenset(b.tolist()) for b in sampler.global_batches(1)]
+        assert set(blocks0) == set(blocks1)  # same blocks...
+        assert blocks0 != blocks1  # ...different visit order
+        # and a given epoch is deterministic
+        again = [frozenset(b.tolist()) for b in sampler.global_batches(1)]
+        assert blocks1 == again
+
+    def test_shards_fixed_across_epochs(self):
+        dims = longtail_dims(48, seed=3)
+        sampler = BucketBatchSampler(self._features(dims), 12, 2, seed=0, dims=dims)
+        by_block_a = {
+            frozenset(np.concatenate(s).tolist()): [tuple(r.tolist()) for r in s]
+            for s in sampler.epoch_partitions(0)
+        }
+        by_block_b = {
+            frozenset(np.concatenate(s).tolist()): [tuple(r.tolist()) for r in s]
+            for s in sampler.epoch_partitions(5)
+        }
+        assert by_block_a == by_block_b
+
+    def test_per_rank_targets_equal_within_block(self):
+        dims = longtail_dims(96, seed=4)
+        sampler = BucketBatchSampler(self._features(dims), 16, 4, seed=0, dims=dims)
+        assert sampler.tier_targets
+        for shards in sampler.epoch_partitions(0):
+            targets = {sampler.padding_targets(s) for s in shards}
+            assert len(targets) == 1  # per-rank tier equality
+            assert None not in targets
+
+    def test_targets_feasible_for_every_shard(self):
+        dims = longtail_dims(64, seed=5)
+        sampler = BucketBatchSampler(self._features(dims), 16, 4, seed=0, dims=dims)
+        for shards in sampler.epoch_partitions(0):
+            for s in shards:
+                raw = dims[s].sum(axis=0)
+                ta, te, ts, tg = sampler.padding_targets(s)
+                assert ta > raw[0] and te >= raw[1]
+                assert ts >= raw[2] and tg >= raw[3]
+                if tg > raw[3]:
+                    assert ts >= raw[2] + 2 and te >= raw[1] + 2
+
+    def test_cov_no_worse_than_load_balance_on_skew(self):
+        """Size-sorted blocks balance at least as well as the greedy pairing
+        over random batches (Fig. 9 criterion)."""
+        features = longtail_features(512, seed=7)
+        balanced = LoadBalanceSampler(features, 128, 4, seed=0)
+        bucketed = BucketBatchSampler(features, 128, 4, seed=0)
+        cov_lb = imbalance_study(balanced)["cov"].mean()
+        cov_bk = imbalance_study(bucketed)["cov"].mean()
+        assert cov_bk <= cov_lb
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        n=st.integers(min_value=16, max_value=96),
+        world=st.sampled_from([2, 4]),
+        seed=st.integers(min_value=0, max_value=2**16),
+    )
+    def test_property_cover_and_rank_target_equality(self, n, world, seed):
+        gbs = 2 * world
+        n -= n % gbs
+        if n < gbs:
+            n = gbs
+        dims = longtail_dims(n, seed=seed)
+        features = self._features(dims)
+        sampler = BucketBatchSampler(features, gbs, world, seed=seed, dims=dims)
+        seen: list[int] = []
+        for shards in sampler.epoch_partitions(0):
+            assert len({len(s) for s in shards}) == 1
+            targets = {sampler.padding_targets(s) for s in shards}
+            assert len(targets) == 1 and None not in targets
+            seen.extend(np.concatenate(shards).tolist())
+        assert sorted(seen) == list(range(n))
+
+    def test_non_multiple_dataset_keeps_tail_and_extremes(self):
+        """Fixed blocks must not permanently exclude the largest structures:
+        the tail forms a short block and only n % world_size samples are
+        dropped, from interior positions of the size-sorted order."""
+        dims = longtail_dims(70, seed=6)
+        features = self._features(dims)
+        sampler = BucketBatchSampler(features, 16, 4, seed=0, dims=dims)
+        seen = np.concatenate(
+            [np.concatenate(s) for s in sampler.epoch_partitions(0)]
+        )
+        assert len(seen) == 70 - (70 % 4)  # only the world-size leftover
+        assert len(set(seen.tolist())) == len(seen)
+        assert sampler.num_batches() == len(list(sampler.global_batches(0)))
+        # the extreme structures always train
+        assert int(np.argmax(features)) in seen
+        assert int(np.argmin(features)) in seen
+        # same exclusion every epoch (blocks are fixed), full-cover otherwise
+        seen2 = np.concatenate(
+            [np.concatenate(s) for s in sampler.epoch_partitions(3)]
+        )
+        assert set(seen.tolist()) == set(seen2.tolist())
+        # per-rank target equality holds on the short tail block too
+        for shards in sampler.epoch_partitions(0):
+            targets = {sampler.padding_targets(s) for s in shards}
+            assert len(targets) == 1 and None not in targets
+
+    def test_world_multiple_dataset_fully_covered(self):
+        dims = longtail_dims(72, seed=8)
+        sampler = BucketBatchSampler(self._features(dims), 16, 4, seed=0, dims=dims)
+        seen = np.concatenate(
+            [np.concatenate(s) for s in sampler.epoch_partitions(0)]
+        )
+        assert sorted(seen.tolist()) == list(range(72))
+
+    def test_without_dims_no_targets(self):
+        features = longtail_features(32)
+        sampler = BucketBatchSampler(features, 8, 2, seed=0)
+        shards = next(sampler.epoch_partitions(0))
+        assert sampler.padding_targets(shards[0]) is None
+        assert sampler.warm_start_entries() == []
+
+
+class TestPaddedShardedLoader:
+    def _loader(self, tiny_entries, memoize=None):
+        ds = StructureDataset(tiny_entries)
+        sampler = BucketBatchSampler(
+            ds.feature_numbers, 8, 2, seed=0, dims=ds.graph_dims
+        )
+        return ShardedLoader(ds, sampler, memoize=memoize, pad=True)
+
+    def test_yields_tier_padded_shards(self, tiny_entries):
+        loader = self._loader(tiny_entries)
+        for shards in loader:
+            shapes = {
+                (b.num_atoms, b.num_edges, b.num_short_edges, b.num_angles)
+                for b in shards
+            }
+            assert len(shapes) == 1
+            assert all(b.pad_info is not None for b in shards)
+
+    def test_memoized_pad_returns_identical_objects_across_epochs(self, tiny_entries):
+        """Memoized collate + the pad cache: a repeat epoch yields the very
+        same padded batch objects (bind-and-replay, no re-concatenation)."""
+        loader = self._loader(tiny_entries, memoize=True)
+        first = [b for step in loader for b in step]
+        second = [b for step in loader for b in step]
+        # block order shuffles between epochs, so compare as sets
+        assert {id(b) for b in first} == {id(b) for b in second}
+
+    def test_pad_false_passes_through(self, tiny_entries):
+        ds = StructureDataset(tiny_entries)
+        sampler = BucketBatchSampler(
+            ds.feature_numbers, 8, 2, seed=0, dims=ds.graph_dims
+        )
+        loader = ShardedLoader(ds, sampler, pad=False)
+        assert all(b.pad_info is None for step in loader for b in step)
 
 
 class TestDataLoader:
