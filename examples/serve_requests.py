@@ -1,0 +1,73 @@
+"""Serve a bulk inference stream through the dynamic-batching engine.
+
+The serving engine answers the dominant downstream question — "predict
+energy/forces/stress for these N candidate structures" — by micro-batching
+requests per workload tier and replaying cached compiled programs across
+simulated workers.  Every served prediction is bit-identical to evaluating
+that structure alone, eagerly.
+
+Equivalent CLI::
+
+    python -m repro.cli serve --requests 64 --workers 2 --compile \
+        --baseline --repeat 2
+
+Run with ``PYTHONPATH=src python examples/serve_requests.py``.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.data import generate_mptrj
+from repro.graph.crystal_graph import build_graph
+from repro.model import FastCHGNet
+from repro.serve import InferenceEngine
+
+# A trained model would come from a checkpoint (model.load("weights.npz")).
+model = FastCHGNet(np.random.default_rng(0))
+
+# Screening pool: precompute graphs once (as StructureDataset does), then
+# serve a request stream drawn from it.
+pool = generate_mptrj(12, seed=0, max_atoms=8)
+graphs = [
+    build_graph(e.crystal, model.config.cutoff_atom, model.config.cutoff_bond)
+    for e in pool
+]
+stream = [graphs[i % len(graphs)] for i in range(48)]
+
+engine = InferenceEngine(model, n_workers=2, compile=True, max_batch_structs=8)
+
+# --- synchronous bulk prediction (screening / relaxation farm style) -------
+# Pass 1 captures one program per tier; pass 2 first-touches the arena
+# pages; pass 3 is the steady serving state (pure bind-and-replay).
+for label in ("cold (captures)", "warm", "steady"):
+    t0 = time.perf_counter()
+    preds = engine.predict_many(stream)
+    wall = time.perf_counter() - t0
+    print(f"{label}: {len(preds)} structures in {wall:.3f}s ({len(preds) / wall:.0f}/s)")
+
+snap = engine.snapshot()
+print(
+    f"cache: {snap['replays']} replays / {snap['captures']} captures, "
+    f"modeled latency p50 {snap['latency_p50'] * 1e3:.1f} ms / "
+    f"p95 {snap['latency_p95'] * 1e3:.1f} ms"
+)
+first = preds[0]
+# An untrained model's energy/force readouts are zero-initialized, so the
+# magnetic moments are the interesting numbers here.
+print(
+    f"first result: E = {first.energy:+.4f} eV, "
+    f"|magmom|max = {np.abs(first.magmom).max():.4f} muB "
+    f"from worker {first.worker} (batch of {first.batch_structs})"
+)
+
+# --- async submit/poll with a deadline-bounded flush -----------------------
+trickle = InferenceEngine(
+    model, n_workers=1, compile=True, max_batch_structs=8, max_wait=0.5
+)
+rid = trickle.submit(graphs[0], now=0.0)
+print("poll before deadline:", trickle.poll(rid, now=0.2))  # None: waiting
+result = trickle.poll(rid, now=0.7)  # deadline passed -> partial batch flushed
+print(f"poll after deadline: E/atom = {result.energy_per_atom:+.4f} eV")

@@ -21,13 +21,24 @@ from typing import Iterator
 import numpy as np
 
 from repro.data.dataset import StructureDataset
-from repro.data.samplers import BatchSampler, DefaultSampler
+from repro.data.samplers import BatchSampler, BucketBatchSampler, DefaultSampler
 from repro.graph.batching import GraphBatch, pad_batch
 from repro.runtime.stream import PrefetchQueue
 
 
 class DataLoader:
-    """Single-device loader yielding :class:`GraphBatch` per iteration."""
+    """Single-device loader yielding :class:`GraphBatch` per iteration.
+
+    ``blocks=True`` switches to **size-sorted block mode** (the
+    single-device analogue of the distributed bucket sampler): batches are
+    fixed contiguous blocks of the size-sorted dataset, epochs shuffle only
+    the block *order*, and — when the dataset carries per-graph dims and
+    ``pad`` is not disabled — every block is padded to its workload tier's
+    canonical shape before being yielded.  Block composition is static
+    across epochs, so a compiled trainer captures once per tier and replays
+    from the first epoch on.  Block mode covers every sample (the tail
+    forms one short block) and ignores ``drop_last``/``shuffle``.
+    """
 
     def __init__(
         self,
@@ -38,6 +49,8 @@ class DataLoader:
         drop_last: bool = True,
         prefetch: bool = False,
         memoize: bool | None = None,
+        blocks: bool = False,
+        pad: bool | None = None,
     ) -> None:
         if batch_size < 1:
             raise ValueError(f"batch_size must be >= 1, got {batch_size}")
@@ -49,8 +62,26 @@ class DataLoader:
         self.prefetch = prefetch
         self.memoize = memoize
         self.epoch = 0
+        self.block_sampler: BucketBatchSampler | None = None
+        self._pad_blocks = False
+        if blocks:
+            dims = getattr(dataset, "graph_dims", None)
+            self._pad_blocks = (dims is not None) if pad is None else pad
+            if self._pad_blocks and dims is None:
+                raise ValueError("pad=True requires a dataset with graph_dims")
+            self.block_sampler = BucketBatchSampler(
+                dataset.feature_numbers,
+                min(batch_size, len(dataset)),
+                world_size=1,
+                seed=seed,
+                dims=dims,
+            )
+        elif pad:
+            raise ValueError("pad=True requires blocks=True")
 
     def __len__(self) -> int:
+        if self.block_sampler is not None:
+            return self.block_sampler.num_batches()
         n = len(self.dataset)
         if self.drop_last:
             return n // self.batch_size
@@ -63,12 +94,40 @@ class DataLoader:
         return np.arange(len(self.dataset))
 
     def _batches(self, epoch: int) -> Iterator[GraphBatch]:
+        if self.block_sampler is not None:
+            yield from self._block_batches(epoch)
+            return
         order = self._indices(epoch)
         for lo in range(0, len(order), self.batch_size):
             chunk = order[lo : lo + self.batch_size]
             if self.drop_last and len(chunk) < self.batch_size:
                 return
             yield self.dataset.batch(chunk, memoize=self.memoize)
+
+    def _block_batches(self, epoch: int) -> Iterator[GraphBatch]:
+        sampler = self.block_sampler
+        for (block,) in sampler.epoch_partitions(epoch):
+            batch = self.dataset.batch(block, memoize=self.memoize)
+            if self._pad_blocks:
+                planned = sampler.padding_targets(block)
+                if planned is not None:
+                    padded = pad_batch(batch, *planned)
+                    if padded is not None:
+                        batch = padded
+            yield batch
+
+    def warm_start_entries(
+        self, has_labels: bool = True
+    ) -> list[tuple[int, bool, tuple[int, int, int, int]]]:
+        """Per-block raw batch stats for ``StepCompiler.warm_start``.
+
+        Only meaningful in block mode (raises otherwise); used by the
+        trainer when blocks are yielded unpadded so the compiler's own
+        tiering starts at its fixpoint shapes.
+        """
+        if self.block_sampler is None:
+            raise RuntimeError("warm_start_entries requires blocks=True")
+        return self.block_sampler.warm_start_entries(has_labels=has_labels)
 
     def __iter__(self) -> Iterator[GraphBatch]:
         # Plain method (not a generator) so the epoch advances at iterator

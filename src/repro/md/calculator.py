@@ -77,10 +77,53 @@ class ModelCalculator(Calculator):
             NeighborCache(model.config.cutoff_atom, skin) if skin > 0 else None
         )
         self._compiler = None
+        self._engine = None
         if compile:
             from repro.tensor.compile import InferenceCompiler
 
             self._compiler = InferenceCompiler(model)
+
+    def calculate_many(
+        self,
+        crystals: list[Crystal],
+        batch_structs: int = 8,
+        n_workers: int = 1,
+    ) -> list[CalcResult]:
+        """Batched single-point evaluation of many structures.
+
+        Trajectory frames, relaxation candidates or screening pools are
+        served through a lazily-created :class:`repro.serve.InferenceEngine`
+        (kept across calls, so its program cache stays warm): structures are
+        micro-batched per workload tier and — when the calculator was built
+        with ``compile=True`` — evaluated by cached-program replay.  Results
+        are bit-identical to calling :meth:`calculate` per structure without
+        a skin list.
+        """
+        from repro.serve import InferenceEngine
+
+        engine = self._engine
+        if (
+            engine is None
+            or engine.max_batch_structs != batch_structs
+            or engine.n_workers != n_workers
+        ):
+            engine = InferenceEngine(
+                self.model,
+                n_workers=n_workers,
+                compile=self._compiler is not None,
+                max_batch_structs=batch_structs,
+            )
+            self._engine = engine
+        else:
+            # The model may have been fine-tuned between calls; re-sync the
+            # worker replicas so no batch is served with stale weights.
+            engine.refresh_weights()
+        return [
+            CalcResult(
+                energy=p.energy, forces=p.forces, stress=p.stress, magmom=p.magmom
+            )
+            for p in engine.predict_many(crystals)
+        ]
 
     def calculate(self, crystal: Crystal) -> CalcResult:
         nl = self._cache.query(crystal) if self._cache is not None else None

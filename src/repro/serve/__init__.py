@@ -1,0 +1,15 @@
+"""High-throughput inference serving for trained potentials."""
+
+from repro.serve.engine import (
+    EngineStats,
+    InferenceEngine,
+    Prediction,
+    percentile,
+)
+
+__all__ = [
+    "EngineStats",
+    "InferenceEngine",
+    "Prediction",
+    "percentile",
+]

@@ -1,0 +1,400 @@
+"""Tiered dynamic batching over compiled-program replay: the serving engine.
+
+FastCHGNet's premise is that one universal potential should be cheap enough
+to use everywhere — and the dominant downstream workload is not training but
+*bulk inference*: screening 10k candidate structures, relaxation farms,
+fine-tuning data generation, high-rate MD.  The trainer-side machinery this
+repo already has (workload tiers, ghost padding, tape capture/replay) is
+exactly what a serving layer needs; :class:`InferenceEngine` composes it
+into a request pipeline:
+
+Micro-batching
+    Requests (crystals or prebuilt graphs) queue per **workload tier**
+    (:func:`repro.graph.batching.workload_tier` of their graph dims), so a
+    batch only ever combines similarly-sized structures.  A tier flushes
+    when it reaches ``max_batch_structs`` or — on the queue-based async API
+    — when its oldest request has waited ``max_wait`` (deadline-bounded
+    partial flush).  Each flushed group is collated into one
+    :class:`~repro.graph.batching.GraphBatch` and ghost-padded by the
+    compiler to the tier's canonical shape, so nearly every batch **replays
+    a cached program** instead of recompiling or re-taping.
+
+Workers and the shared program cache
+    Batches fan out across ``n_workers`` simulated workers, each holding its
+    own model replica and :class:`~repro.tensor.compile.InferenceCompiler` —
+    all sharing one :class:`~repro.tensor.compile.SharedProgramCache`.  A
+    program captured by any worker replays on every other after parameter
+    **rebinding** against that worker's weights, so capture cost is paid
+    once per tier, not once per worker.  Worker wall-clock is modeled with
+    per-worker virtual clocks advanced by the *measured* service time of
+    each batch (the same measured-compute + modeled-time approach as
+    :mod:`repro.comm.scaling`), which yields per-request latencies for
+    p50/p95 reporting.
+
+Bit-identity
+    Padded, batched, replayed predictions are **bit-identical** to eager
+    per-request inference.  Replay-vs-eager equality is the compile
+    module's existing contract; batching and padding preserve per-structure
+    bits because every kernel in the inference path (including the
+    derivative-force backward) is **row-stable** — BLAS products, whose
+    kernel choice normally varies with the row count, are routed through
+    the row-stable evaluation in ``ops_linalg._matmul_np`` (narrow
+    products as per-row pairwise reductions, wide ones pinned to the
+    prefix-stable contiguous kernel).  Tests and
+    ``benchmarks/bench_serve.py`` verify the end-to-end guarantee on
+    models with non-trivial weights.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import deque
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.graph.batching import GraphBatch, collate, workload_tier
+from repro.graph.crystal_graph import CrystalGraph, build_graph
+from repro.model.chgnet import CHGNetModel
+from repro.structures.crystal import Crystal
+from repro.tensor import no_grad
+from repro.tensor.compile import InferenceCompiler, SharedProgramCache
+
+
+def percentile(values, q: float) -> float:
+    """Linear-interpolated percentile of a sequence (0 <= q <= 100)."""
+    if not values:
+        return 0.0
+    return float(np.percentile(np.fromiter(values, dtype=np.float64), q))
+
+
+#: Sliding window of per-request latencies kept for p50/p95 reporting; a
+#: long-lived engine (an MD calculator's persistent engine, a day-long
+#: request loop) must not grow its stats with lifetime request count.
+_LATENCY_WINDOW = 4096
+
+
+@dataclass
+class Prediction:
+    """Served single-structure prediction (bit-equal to solo eager)."""
+
+    request_id: int
+    energy: float  # total, eV
+    energy_per_atom: float
+    forces: np.ndarray  # (n, 3)
+    stress: np.ndarray  # (3, 3)
+    magmom: np.ndarray  # (n,)
+    worker: int = 0
+    batch_structs: int = 1
+    latency: float = 0.0  # modeled seconds from submit to batch completion
+
+
+@dataclass
+class EngineStats:
+    """Aggregate serving counters (see :meth:`InferenceEngine.stats`)."""
+
+    requests: int = 0
+    batches: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
+    #: most recent per-request latencies (bounded sliding window)
+    latencies: deque = field(default_factory=lambda: deque(maxlen=_LATENCY_WINDOW))
+
+    @property
+    def hit_rate(self) -> float:
+        """Program-cache hit rate over all dispatched batches."""
+        total = self.cache_hits + self.cache_misses
+        return self.cache_hits / total if total else 0.0
+
+    def as_dict(self) -> dict:
+        return {
+            "requests": self.requests,
+            "batches": self.batches,
+            "cache_hits": self.cache_hits,
+            "cache_misses": self.cache_misses,
+            "hit_rate": self.hit_rate,
+            "latency_p50": percentile(self.latencies, 50),
+            "latency_p95": percentile(self.latencies, 95),
+        }
+
+
+@dataclass
+class _Pending:
+    request_id: int
+    graph: CrystalGraph
+    submitted: float
+
+
+class InferenceEngine:
+    """Dynamic-batching inference server over one trained model.
+
+    Parameters
+    ----------
+    model:
+        The source of truth for weights.  ``n_workers - 1`` additional
+        replicas are constructed and kept in sync via
+        :meth:`refresh_weights`.
+    n_workers:
+        Simulated workers; batches go to the worker whose virtual clock
+        frees up first.
+    compile:
+        Replay cached :class:`~repro.tensor.compile.InferenceCompiler`
+        programs (tier-padded batches, shared cache).  ``False`` evaluates
+        every batch eagerly without padding — with ``max_batch_structs=1``
+        this is exactly the per-request eager baseline.
+    max_batch_structs:
+        Flush threshold per tier queue; also the micro-batch size
+        :meth:`predict_many` packs.
+    max_wait:
+        Deadline (seconds, on the caller-supplied ``now`` clock) after
+        which a partial tier queue is flushed by :meth:`poll`/:meth:`submit`.
+    """
+
+    def __init__(
+        self,
+        model: CHGNetModel,
+        n_workers: int = 1,
+        compile: bool = True,
+        max_batch_structs: int = 8,
+        max_wait: float = 0.05,
+        max_programs: int = 16,
+    ) -> None:
+        if n_workers < 1:
+            raise ValueError(f"n_workers must be >= 1, got {n_workers}")
+        if max_batch_structs < 1:
+            raise ValueError(f"max_batch_structs must be >= 1, got {max_batch_structs}")
+        if max_wait < 0:
+            raise ValueError(f"max_wait must be non-negative, got {max_wait}")
+        self.model = model
+        self.config = model.config
+        self.n_workers = n_workers
+        self.max_batch_structs = max_batch_structs
+        self.max_wait = max_wait
+        self.workers: list[CHGNetModel] = [model]
+        for w in range(1, n_workers):
+            replica = CHGNetModel(model.config, np.random.default_rng(w))
+            replica.load_state_dict(model.state_dict())
+            self.workers.append(replica)
+        self.cache: SharedProgramCache | None = None
+        self.compilers: list[InferenceCompiler] | None = None
+        if compile:
+            self.cache = SharedProgramCache(max_programs)
+            self.compilers = [
+                InferenceCompiler(worker, cache=self.cache) for worker in self.workers
+            ]
+        self.stats = EngineStats()
+        self._worker_free = [0.0] * n_workers
+        self._queues: dict[int, list[_Pending]] = {}
+        self._results: dict[int, Prediction] = {}
+        self._next_id = 0
+        self._now = 0.0
+
+    # ------------------------------------------------------------ weight sync
+    def refresh_weights(self) -> None:
+        """Re-sync every worker replica from the source model.
+
+        Cached programs survive: replays bind parameter arrays on every
+        call, so the next batch on each worker simply rebinds the new
+        weights.
+        """
+        state = self.model.state_dict()
+        for replica in self.workers[1:]:
+            replica.load_state_dict(state)
+
+    # ------------------------------------------------------------- submission
+    def _graph_of(self, item: Crystal | CrystalGraph) -> CrystalGraph:
+        if isinstance(item, CrystalGraph):
+            return item
+        return build_graph(item, self.config.cutoff_atom, self.config.cutoff_bond)
+
+    def submit(self, item: Crystal | CrystalGraph, now: float | None = None) -> int:
+        """Enqueue one structure; returns its request id.
+
+        Full tier queues flush immediately; partial queues wait for more
+        same-tier work until ``max_wait`` passes on the ``now`` clock.
+        """
+        now = self._advance(now)
+        graph = self._graph_of(item)
+        tier = workload_tier(
+            (graph.num_atoms, graph.num_edges, graph.num_short_edges, graph.num_angles)
+        )
+        request_id = self._next_id
+        self._next_id += 1
+        self.stats.requests += 1
+        self._queues.setdefault(tier, []).append(_Pending(request_id, graph, now))
+        self._flush_ready(now)
+        return request_id
+
+    def poll(self, request_id: int, now: float | None = None) -> Prediction | None:
+        """The finished prediction for ``request_id``, or ``None`` if pending.
+
+        Polling advances the deadline clock: any tier queue whose oldest
+        request has waited ``max_wait`` is flushed as a partial batch, so a
+        trickle of traffic is served within a bounded delay instead of
+        waiting forever for a full batch.
+        """
+        now = self._advance(now)
+        self._flush_ready(now)
+        return self._results.pop(request_id, None)
+
+    def flush(self, now: float | None = None) -> int:
+        """Dispatch every queued request regardless of batch size/deadline."""
+        now = self._advance(now)
+        n = 0
+        for tier in sorted(self._queues):
+            queue = self._queues[tier]
+            while queue:
+                group, self._queues[tier] = (
+                    queue[: self.max_batch_structs],
+                    queue[self.max_batch_structs :],
+                )
+                queue = self._queues[tier]
+                self._dispatch(group, now)
+                n += 1
+        return n
+
+    @property
+    def pending(self) -> int:
+        return sum(len(q) for q in self._queues.values())
+
+    def _advance(self, now: float | None) -> float:
+        if now is not None:
+            self._now = max(self._now, float(now))
+        return self._now
+
+    def _flush_ready(self, now: float) -> None:
+        for tier in sorted(self._queues):
+            queue = self._queues[tier]
+            while len(queue) >= self.max_batch_structs:
+                group = queue[: self.max_batch_structs]
+                self._queues[tier] = queue = queue[self.max_batch_structs :]
+                self._dispatch(group, now)
+            if queue and now - queue[0].submitted >= self.max_wait:
+                self._queues[tier] = []
+                self._dispatch(queue, now)
+
+    # ------------------------------------------------------------ synchronous
+    def predict_many(
+        self, items: list[Crystal | CrystalGraph]
+    ) -> list[Prediction]:
+        """Predict all items, micro-batched per tier; order follows inputs.
+
+        All requests are treated as submitted at the engine's current
+        virtual time; the whole set is flushed (tail groups become partial
+        batches), so the call is deterministic and leaves nothing queued.
+        """
+        graphs = [self._graph_of(item) for item in items]
+        if self.compilers is not None:
+            self._warm_start(graphs)
+        # A synchronous wave arrives after all previously dispatched work
+        # finished; rebasing the clock keeps its latencies self-contained.
+        self._now = max(self._now, self.makespan())
+        ids = [self.submit(g) for g in graphs]
+        self.flush()
+        return [self._results.pop(request_id) for request_id in ids]
+
+    def _warm_start(self, graphs: list[CrystalGraph]) -> None:
+        """Pre-size canonical tier shapes from the planned micro-batches.
+
+        Grouping is simulated ahead of submission (FIFO per tier, chunks of
+        ``max_batch_structs``) so every tier's canonical shape is known
+        before the first capture — one capture per tier for the whole
+        stream, exactly like the trainers' warm start.
+        """
+        queues: dict[int, list[tuple[int, int, int, int]]] = {}
+        entries: list[tuple[int, bool, tuple[int, int, int, int]]] = []
+        for g in graphs:
+            dims = (g.num_atoms, g.num_edges, g.num_short_edges, g.num_angles)
+            queue = queues.setdefault(workload_tier(dims), [])
+            queue.append(dims)
+            if len(queue) >= self.max_batch_structs:
+                entries.append(self._group_entry(queue))
+                queue.clear()
+        for queue in queues.values():
+            if queue:
+                entries.append(self._group_entry(queue))
+        # The canonical dict is shared through the cache: seeding one
+        # compiler seeds them all.
+        self.compilers[0].warm_start(entries)
+
+    @staticmethod
+    def _group_entry(
+        dims: list[tuple[int, int, int, int]]
+    ) -> tuple[int, bool, tuple[int, int, int, int]]:
+        summed = tuple(int(s) for s in np.sum(np.asarray(dims, dtype=np.int64), axis=0))
+        return (len(dims), False, summed)
+
+    # -------------------------------------------------------------- dispatch
+    def _eval_batch(self, worker: int, batch: GraphBatch) -> dict[str, np.ndarray]:
+        if self.compilers is not None:
+            return self.compilers[worker].run(batch)
+        model = self.workers[worker]
+        if model.config.use_heads:
+            with no_grad():
+                output = model.forward(batch, training=False)
+        else:
+            output = model.forward(batch, training=False)
+        return {
+            "energy": output.energy_per_atom.data,
+            "forces": output.forces.data,
+            "stress": output.stress.data,
+            "magmom": output.magmom.data,
+        }
+
+    def _dispatch(self, group: list[_Pending], now: float) -> None:
+        batch = collate([p.graph for p in group])
+        worker = int(np.argmin(self._worker_free))
+        before = (
+            self.cache.hits if self.cache is not None else 0,
+            self.cache.misses if self.cache is not None else 0,
+        )
+        t0 = time.perf_counter()
+        out = self._eval_batch(worker, batch)
+        service = time.perf_counter() - t0
+        if self.cache is not None:
+            self.stats.cache_hits += self.cache.hits - before[0]
+            self.stats.cache_misses += self.cache.misses - before[1]
+        start = max(self._worker_free[worker], now)
+        finish = start + service
+        self._worker_free[worker] = finish
+        self.stats.batches += 1
+        offsets = batch.atom_offsets
+        for i, pending in enumerate(group):
+            a0, a1 = int(offsets[i]), int(offsets[i + 1])
+            e_pa = float(out["energy"][i])
+            latency = finish - pending.submitted
+            self.stats.latencies.append(latency)
+            self._results[pending.request_id] = Prediction(
+                request_id=pending.request_id,
+                energy=e_pa * (a1 - a0),
+                energy_per_atom=e_pa,
+                forces=out["forces"][a0:a1].copy(),
+                stress=out["stress"][i].copy(),
+                magmom=out["magmom"][a0:a1].copy(),
+                worker=worker,
+                batch_structs=len(group),
+                latency=latency,
+            )
+
+    # ----------------------------------------------------------------- stats
+    def makespan(self) -> float:
+        """Latest worker-finish time on the virtual clock."""
+        return max(self._worker_free)
+
+    def compile_stats(self) -> dict[str, int] | None:
+        """Aggregated per-worker compiler counters (``None`` when eager)."""
+        if self.compilers is None:
+            return None
+        totals: dict[str, int] = {}
+        for compiler in self.compilers:
+            for key, value in compiler.stats.as_dict().items():
+                totals[key] = totals.get(key, 0) + value
+        return totals
+
+    def snapshot(self) -> dict:
+        """One flat dict of serving + compiler counters (for benches/CLI)."""
+        merged = self.stats.as_dict()
+        comp = self.compile_stats()
+        if comp is not None:
+            merged.update(comp)
+        return merged

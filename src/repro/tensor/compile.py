@@ -39,7 +39,11 @@ Managers
     shuffled long-tail loader converges to a handful of shared programs
     instead of compiling every step.  Every replay is guarded: a
     shape/dtype rebinding mismatch or a changed model/loss configuration
-    evicts the program and falls back to eager.
+    evicts the program and falls back to eager.  Programs live in a
+    :class:`SharedProgramCache` that several compilers may share (one per
+    simulated rank or serving worker): a program captured by one sharer
+    replays on every other after **parameter rebinding** against that
+    sharer's own weights, cutting capture cost by the number of replicas.
 """
 
 from __future__ import annotations
@@ -79,8 +83,26 @@ _ALIAS_OPS = frozenset({"reshape", "transpose", "broadcast_to", "slice"})
 
 
 # ------------------------------------------------------------- out= kernels
+def _matmul_out(out, a, b):
+    # Mirrors the eager row-stable routing (ops_linalg._matmul_np): narrow
+    # products via the column loop, wide ones on contiguous operands, the
+    # single-row case through a two-row operand.
+    from repro.tensor.ops_linalg import _ROW_STABLE_MAX_N, matmul_rowstable
+
+    if a.ndim == 2 and b.ndim == 2:
+        if b.shape[1] < _ROW_STABLE_MAX_N:
+            return matmul_rowstable(a, b, out)
+        a2 = np.ascontiguousarray(a)
+        b2 = np.ascontiguousarray(b)
+        if a2.shape[0] == 1:
+            np.copyto(out, np.matmul(np.concatenate([a2, a2], axis=0), b2)[0:1])
+            return out
+        return np.matmul(a2, b2, out=out)
+    return np.matmul(a, b, out=out)
+
+
 def _linear_out(out, x, w, b):
-    np.matmul(x, w, out=out)
+    _matmul_out(out, x, w)
     np.add(out, b, out=out)
     return out
 
@@ -136,6 +158,22 @@ def _fused_fourier_out(out, theta, order):
     return out
 
 
+def _fused_envelope_out(out, xi, p):
+    from repro.tensor.ops_fused import _envelope_coeffs
+
+    # Horner ladder of _envelope_np evaluated in place: out carries
+    # (a - xi*(b - c*xi)), then 1 - xi**p * out — identical expressions,
+    # bit-identical result.
+    a, b, c = _envelope_coeffs(p)
+    np.multiply(xi, c, out=out)
+    np.subtract(b, out, out=out)
+    np.multiply(xi, out, out=out)
+    np.subtract(a, out, out=out)
+    np.multiply(xi**p, out, out=out)
+    np.subtract(1.0, out, out=out)
+    return out
+
+
 def _fused_layernorm_out(out, x, gamma, beta, eps):
     mu = x.mean(axis=-1, keepdims=True)
     xc = np.subtract(x, mu, out=out)
@@ -180,7 +218,7 @@ _OUT_IMPLS: dict[str, Callable] = {
     "power": lambda out, a, p: np.power(a, p, out=out),
     "clip": lambda out, a, lo, hi: np.clip(a, lo, hi, out=out),
     "le_mask_c": lambda out, a, threshold: np.less_equal(a, threshold, out=out),
-    "matmul": lambda out, a, b: np.matmul(a, b, out=out),
+    "matmul": _matmul_out,
     "linear": _linear_out,
     "fused_scale_shift": _scale_shift_out,
     # np.sum delegates to np.add.reduce (same pairwise C path, bit-identical);
@@ -196,6 +234,9 @@ _OUT_IMPLS: dict[str, Callable] = {
     "fused_srbf": _fused_srbf_out,
     "fused_fourier": _fused_fourier_out,
     "fused_layernorm": _fused_layernorm_out,
+    # Reads xi several times, so it must never consume a chain carry: kept
+    # out of _ELEMENTWISE deliberately (arena-backed standalone launch only).
+    "fused_envelope": _fused_envelope_out,
 }
 
 # Chainable elementwise kernels: same-shape outputs, out= capable, safe to
@@ -396,8 +437,10 @@ class CompiledStep:
         self._eliminate_dead()
         self._fuse_elementwise_chains()
         self._assign_arena()
+        self._removed_alias: dict[int, int] = {}  # prefilled view -> base slot
         self._prefill_static_slots()
         self.n_instrs = len(self.instrs)
+        self._slot_instr = {ins.out_slot: t for t, ins in enumerate(self.instrs)}
         record_tape_alloc(self.arena_bytes)
         self._released = False
 
@@ -543,6 +586,11 @@ class CompiledStep:
                 ins.buf = pool.pop()
             else:
                 buf_arr = np.empty(ins.shape, dtype=ins.dtype)
+                if buf_arr.nbytes:
+                    # Touch every page now: np.empty defers physical
+                    # allocation, which would otherwise surface as a slow
+                    # first *replay* (page faults inside the hot kernels).
+                    buf_arr.reshape(-1)[:: 512] = 0.0
                 self.buffers.append(buf_arr)
                 self.arena_bytes += buf_arr.nbytes
                 ins.buf = len(self.buffers) - 1
@@ -574,6 +622,7 @@ class CompiledStep:
             elif ins.alias and ins.in_slots[0] in static:
                 slots[ins.out_slot] = ins.fn(slots[ins.in_slots[0]], **ins.kwargs)
                 static.add(ins.out_slot)
+                self._removed_alias[ins.out_slot] = ins.in_slots[0]
             else:
                 kept.append(ins)
         self.instrs = kept
@@ -647,6 +696,33 @@ class CompiledStep:
                 slots[ins.out_slot] = ins.fn(
                     *[slots[s] for s in ins.in_slots], **ins.rkwargs
                 )
+
+    def grad_instr_index(self, slot: int) -> int:
+        """Index of the replay instruction producing ``slot`` (-1: prefilled).
+
+        Slots whose producing view instruction was prefilled away resolve
+        through their alias base, so every gradient slot maps to the launch
+        that completes it — the hook behind measured bucket ready times.
+        """
+        while slot in self._removed_alias:
+            slot = self._removed_alias[slot]
+        return self._slot_instr.get(slot, -1)
+
+    def replay_measured(self) -> np.ndarray:
+        """Replay on the bound slots, timestamping every instruction.
+
+        Returns cumulative seconds after each launch (same kernels, same
+        order, same bits as :meth:`replay`); combined with
+        :meth:`grad_instr_index` this yields *measured* per-gradient
+        completion times instead of byte-share estimates.
+        """
+        slots = self._slots
+        times = np.empty(len(self.instrs))
+        t0 = time.perf_counter()
+        for t, ins in enumerate(self.instrs):
+            slots[ins.out_slot] = self._run_instr(ins, slots)
+            times[t] = time.perf_counter() - t0
+        return times
 
     def _replay_profiled(self) -> None:
         slots = self._slots
@@ -722,6 +798,75 @@ def program_signature(batch: GraphBatch, serial: bool, mode: str) -> tuple:
     return sig
 
 
+class SharedProgramCache:
+    """Signature-keyed store of compiled programs, shareable across compilers.
+
+    Per-rank/per-worker compilers capture *identical* programs for a given
+    signature (tier-equal shards, same model config), differing only in the
+    parameter arrays bound at replay time.  Holding the programs here and
+    handing every sharer a reference lets one capture serve ``world_size``
+    ranks or ``n_workers`` serving workers: each call rebinds the program to
+    the caller's own weights (:meth:`CompiledStep.bind` takes the parameter
+    list), so capture cost is paid once per signature instead of once per
+    replica.  Sharers must wrap models of identical configuration — the
+    compilers' guards enforce this by dropping the cache on any mismatch.
+
+    A compiler constructed without an explicit cache owns a private instance,
+    which reproduces the old per-instance behavior exactly.
+    """
+
+    def __init__(self, max_programs: int = 8) -> None:
+        if max_programs < 1:
+            raise ValueError(f"max_programs must be >= 1, got {max_programs}")
+        self.max_programs = max_programs
+        self.programs: OrderedDict[tuple, CompiledStep] = OrderedDict()
+        self.unsupported: set[tuple] = set()
+        # canonical shape per workload tier: (num_structs, has_labels, tier)
+        # -> running max (atoms, edges, short, angles); shared so every
+        # sharer pads a tier to the same shape (else programs would be
+        # per-sharer again); see _CompilerBase._pad / warm_start.
+        self.canonical: dict[tuple, tuple] = {}
+        self.hits = 0
+        self.misses = 0
+
+    def lookup(self, sig: tuple) -> CompiledStep | None:
+        """The cached program for ``sig`` (LRU-touched), counting hit/miss."""
+        prog = self.programs.get(sig)
+        if prog is None:
+            self.misses += 1
+            return None
+        self.programs.move_to_end(sig)
+        self.hits += 1
+        return prog
+
+    def store(self, sig: tuple, prog: CompiledStep) -> None:
+        self.programs[sig] = prog
+        if len(self.programs) > self.max_programs:
+            _, evicted = self.programs.popitem(last=False)
+            evicted.release()
+
+    def evict(self, sig: tuple) -> None:
+        prog = self.programs.pop(sig, None)
+        if prog is not None:
+            prog.release()
+
+    def release(self) -> None:
+        """Drop every cached program (returning arena bytes) and tier shapes."""
+        for prog in self.programs.values():
+            prog.release()
+        self.programs.clear()
+        self.canonical.clear()
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    @property
+    def arena_bytes(self) -> int:
+        return sum(p.arena_bytes for p in self.programs.values())
+
+
 class _CompilerBase:
     """Program cache + guards shared by the train/inference compilers.
 
@@ -729,23 +874,46 @@ class _CompilerBase:
     :meth:`_fallback`, :meth:`_capture`, :meth:`_replay`); the shared
     :meth:`_execute` template drives the capture -> guard -> fallback flow
     so the two managers cannot drift apart.
+
+    ``cache`` accepts a :class:`SharedProgramCache` shared with sibling
+    compilers (other ranks/workers over the same model configuration); when
+    omitted the compiler owns a private cache.
     """
 
     #: program_signature mode tag; subclasses override.
     _mode = "train"
 
-    def __init__(self, model, bucket: bool, max_programs: int) -> None:
+    def __init__(
+        self,
+        model,
+        bucket: bool,
+        max_programs: int,
+        cache: SharedProgramCache | None = None,
+    ) -> None:
         self.model = model
         self.params = model.parameters()
         self.bucket = bucket
-        self.max_programs = max_programs
-        self._programs: OrderedDict[tuple, CompiledStep] = OrderedDict()
-        self._unsupported: set[tuple] = set()
-        # canonical shape per workload tier: (num_structs, has_labels, tier)
-        # -> running max (atoms, edges, short, angles); see _pad
-        self._canonical: dict[tuple, tuple] = {}
+        self.cache = cache if cache is not None else SharedProgramCache(max_programs)
+        #: most recently captured or replayed program (bound state intact).
+        self.last_program: CompiledStep | None = None
         self.stats = CompileStats()
         self._guard = self._guard_token()
+
+    @property
+    def max_programs(self) -> int:
+        return self.cache.max_programs
+
+    @property
+    def _programs(self) -> OrderedDict[tuple, CompiledStep]:
+        return self.cache.programs
+
+    @property
+    def _unsupported(self) -> set[tuple]:
+        return self.cache.unsupported
+
+    @property
+    def _canonical(self) -> dict[tuple, tuple]:
+        return self.cache.canonical
 
     def _guard_token(self) -> tuple:
         return (self.model.config, len(self.params))
@@ -845,25 +1013,24 @@ class _CompilerBase:
         self._check_guard()
         batch = self._pad(batch)
         sig = program_signature(batch, not self.model.config.batched_basis, self._mode)
-        if sig in self._unsupported:
+        if sig in self.cache.unsupported:
             self.stats.eager_fallbacks += 1
             return self._fallback(batch)
-        prog = self._programs.get(sig)
+        prog = self.cache.lookup(sig)
         if prog is None:
             try:
                 return self._capture(sig, batch)
             except TraceUnsupported:
-                self._unsupported.add(sig)
+                self.cache.unsupported.add(sig)
                 self.stats.unsupported += 1
                 self.stats.eager_fallbacks += 1
                 return self._fallback(batch)
-        self._programs.move_to_end(sig)
         reason = prog.bind(batch, self.params)
         if reason is not None:
-            self._programs.pop(sig)
-            prog.release()
+            self.cache.evict(sig)
             self.stats.eager_fallbacks += 1
             return self._fallback(batch)
+        self.last_program = prog
         return self._replay(prog, batch)
 
     def _fallback(self, batch: GraphBatch):
@@ -876,21 +1043,17 @@ class _CompilerBase:
         raise NotImplementedError
 
     def _store(self, sig: tuple, prog: CompiledStep) -> None:
-        self._programs[sig] = prog
-        if len(self._programs) > self.max_programs:
-            _, evicted = self._programs.popitem(last=False)
-            evicted.release()
+        self.cache.store(sig, prog)
+        self.last_program = prog
 
     def release(self) -> None:
         """Drop every cached program (returning arena bytes)."""
-        for prog in self._programs.values():
-            prog.release()
-        self._programs.clear()
-        self._canonical.clear()
+        self.cache.release()
+        self.last_program = None
 
     @property
     def arena_bytes(self) -> int:
-        return sum(p.arena_bytes for p in self._programs.values())
+        return self.cache.arena_bytes
 
 
 class StepCompiler(_CompilerBase):
@@ -913,10 +1076,11 @@ class StepCompiler(_CompilerBase):
         bucket: bool = True,
         max_programs: int = 8,
         validate: bool = False,
+        cache: SharedProgramCache | None = None,
     ) -> None:
         self.loss_fn = loss_fn
         self.validate = validate
-        super().__init__(model, bucket, max_programs)
+        super().__init__(model, bucket, max_programs, cache)
 
     def _guard_token(self) -> tuple:
         return (
@@ -1009,8 +1173,14 @@ class InferenceCompiler(_CompilerBase):
 
     _mode = "infer"
 
-    def __init__(self, model, bucket: bool = True, max_programs: int = 8) -> None:
-        super().__init__(model, bucket, max_programs)
+    def __init__(
+        self,
+        model,
+        bucket: bool = True,
+        max_programs: int = 8,
+        cache: SharedProgramCache | None = None,
+    ) -> None:
+        super().__init__(model, bucket, max_programs, cache)
 
     def _forward(self, batch: GraphBatch):
         if self.model.config.use_heads:

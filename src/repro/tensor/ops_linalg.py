@@ -17,12 +17,65 @@ from repro.tensor.ops_math import _unbroadcast, astensor, sum as tsum
 from repro.tensor.ops_shape import builtin_slice
 
 
+# Narrow-output threshold for the row-stable matmul evaluation: measured on
+# this substrate, BLAS gemm row results are prefix-stable for output widths
+# >= 16 (any row count > 1) and unstable below — the kernel chosen (and with
+# it the accumulation order over k) depends on the row count m, so the same
+# row can produce different low bits inside a tall operand than alone.
+_ROW_STABLE_MAX_N = 16
+
+
+def matmul_rowstable(a: np.ndarray, b: np.ndarray, out: np.ndarray) -> np.ndarray:
+    """``a @ b`` column by column: bitwise row-stable for any row count.
+
+    Each output column is a broadcasted multiply + per-row pairwise
+    reduction; rows never influence each other, so the result for a given
+    row is independent of how many rows are batched around it.
+    """
+    for j in range(b.shape[1]):
+        np.add.reduce(a * b[:, j], axis=1, out=out[:, j])
+    return out
+
+
+def _matmul_np(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Matrix product whose row results do not depend on the row count.
+
+    Three measures make 2-D products bitwise **row-stable** — the same row
+    yields the same bits whether evaluated alone or inside a tall batched
+    operand (:mod:`repro.serve` rests on this):
+
+    * narrow products (output width < ``_ROW_STABLE_MAX_N``: head
+      projections, ``(n, 3) @ (3, 3)`` geometry transforms, radial-basis
+      projections) go through :func:`matmul_rowstable`;
+    * wide products run on *contiguous* operands (transposed VJP views are
+      copied), pinning BLAS to its NN kernel, which is measured
+      prefix-stable for every row count >= 2 at these widths;
+    * single-row wide products evaluate through a two-row operand and keep
+      row 0 — prefix stability then guarantees the exact bits the same row
+      would get inside any taller batch.
+
+    The routing never depends on the row count except through the
+    result-preserving single-row path, so eager per-request and batched
+    inference always produce identical rows.
+    """
+    if a.ndim == 2 and b.ndim == 2:
+        if b.shape[1] < _ROW_STABLE_MAX_N:
+            out = np.empty((a.shape[0], b.shape[1]), dtype=np.result_type(a, b))
+            return matmul_rowstable(a, b, out)
+        a2 = np.ascontiguousarray(a)
+        b2 = np.ascontiguousarray(b)
+        if a2.shape[0] == 1:
+            return np.matmul(np.concatenate([a2, a2], axis=0), b2)[0:1].copy()
+        return np.matmul(a2, b2)
+    return np.matmul(a, b)
+
+
 def matmul(a: Tensor, b: Tensor) -> Tensor:
     """Matrix product with NumPy batching semantics (operands >= 2-D)."""
     a, b = astensor(a), astensor(b)
     if a.ndim < 2 or b.ndim < 2:
         raise ValueError("matmul requires operands with at least 2 dimensions")
-    return apply_op("matmul", np.matmul, _matmul_vjp, (a, b))
+    return apply_op("matmul", _matmul_np, _matmul_vjp, (a, b))
 
 
 def _matmul_vjp(g, out, inputs, needs):
@@ -47,7 +100,7 @@ def linear(x: Tensor, w: Tensor, b: Tensor | None = None) -> Tensor:
         return matmul(x, w)
 
     def fwd(x, w, b):
-        return np.matmul(x, w) + b
+        return _matmul_np(x, w) + b
 
     return apply_op("linear", fwd, _linear_vjp, (x, w, b))
 

@@ -75,7 +75,15 @@ class DistributedConfig:
       so with the padded-batch cache repeat epochs bind-and-replay);
     * ``n_buckets`` — gradient-flush buckets for the overlapped allreduce;
     * ``validate_replay`` — re-run every replayed step eagerly and assert
-      bitwise equality (test harness).
+      bitwise equality (test harness);
+    * ``share_programs`` — hand every rank compiler one
+      :class:`~repro.tensor.compile.SharedProgramCache`: shards are
+      tier-equal by construction, so one rank captures each tier's program
+      and the others replay it after rebinding their own weights (capture
+      cost / ``world_size``);
+    * ``flatten_buckets`` — pack each gradient bucket into one contiguous
+      scratch message per rank and run a single in-place mean-allreduce per
+      bucket instead of one per parameter (bit-identical averages).
     """
 
     world_size: int = 4
@@ -93,6 +101,8 @@ class DistributedConfig:
     pad_shards: bool | None = None
     memoize_shards: bool | None = None
     validate_replay: bool = False
+    share_programs: bool = True
+    flatten_buckets: bool = True
 
     def resolve_lr(self) -> float:
         if self.learning_rate is not None:
@@ -166,6 +176,20 @@ class GradientBuckets:
         self.bucket_bytes = [
             float(sum(sizes[i] for i in bucket)) for bucket in self.buckets
         ]
+        # Flat-message layout: each bucket's parameters at fixed element
+        # offsets inside one contiguous scratch message (the flattened
+        # collective packs/unpacks through this plan every step).
+        self.layouts: list[list[tuple[int, int, int]]] = []  # (param, off, n)
+        self.bucket_elems: list[int] = []
+        for bucket in self.buckets:
+            off = 0
+            layout = []
+            for i in bucket:
+                n = int(params[i].data.size)
+                layout.append((i, off, n))
+                off += n
+            self.layouts.append(layout)
+            self.bucket_elems.append(off)
 
     @property
     def n_buckets(self) -> int:
@@ -229,10 +253,17 @@ class DistributedTrainer:
 
         self.compilers = None
         if cfg.compile:
-            from repro.tensor.compile import StepCompiler
+            from repro.tensor.compile import SharedProgramCache, StepCompiler
 
+            # One program cache for all ranks (unless disabled): shards are
+            # tier-equal by construction, so whichever rank first sees a
+            # tier captures its program and every other rank replays it
+            # after rebinding its own parameters.
+            shared = SharedProgramCache() if cfg.share_programs else None
             self.compilers = [
-                StepCompiler(rep, self.loss_fn, validate=cfg.validate_replay)
+                StepCompiler(
+                    rep, self.loss_fn, validate=cfg.validate_replay, cache=shared
+                )
                 for rep in self.replicas
             ]
             # Pre-padded shards (the default) carry the sampler's static
@@ -243,6 +274,8 @@ class DistributedTrainer:
                 entries = entries_fn(has_labels=True)
                 for compiler in self.compilers:
                     compiler.warm_start(entries)
+                    if cfg.share_programs:
+                        break  # the canonical tier dict is shared too
 
         total_steps = max(1, len(self.loader) * cfg.epochs)
         self.schedulers = [
@@ -253,6 +286,10 @@ class DistributedTrainer:
         self._trainable: list[bool] | None = None
         self._buckets: GradientBuckets | None = None
         self._flush_work: list[np.ndarray | None] = []
+        # Flattened-collective scratch: one (world, elems) pack per bucket
+        # plus the communicator's reusable work block.
+        self._packs: list[np.ndarray] = []
+        self._pack_work: list[np.ndarray | None] = []
 
     def train_step(self, shards: list[GraphBatch]) -> StepStats:
         """One synchronized step: local grads, bucketed allreduce, updates."""
@@ -297,11 +334,17 @@ class DistributedTrainer:
         """Bucketed mean-allreduce of the just-written gradients, in place.
 
         Buckets are flushed in liveness order (the order backward completes
-        them), through the communicator's in-place collective with
-        per-parameter scratch reused across steps; the averaged gradients
-        land directly in every replica's ``.grad`` arrays.  Parameters the
-        model never grads are skipped via the mask cached on the first step
-        (instead of being zero-filled, averaged and re-assigned every step).
+        them); the averaged gradients land directly in every replica's
+        ``.grad`` arrays.  Parameters the model never grads are skipped via
+        the mask cached on the first step (instead of being zero-filled,
+        averaged and re-assigned every step).
+
+        With ``flatten_buckets`` (the default) each bucket is packed into
+        one contiguous per-rank scratch message and mean-allreduced in a
+        *single* collective — per-array latency collapses to one launch per
+        bucket, and the traced message matches the modeled per-bucket bytes.
+        The mean is elementwise over the rank axis either way, so flattened
+        averages are bit-identical to the per-parameter collectives.
         """
         params0 = self._params[0]
         if self._buckets is None:
@@ -310,23 +353,81 @@ class DistributedTrainer:
                 params0, self._trainable, self.config.n_buckets
             )
             self._flush_work = [None] * len(params0)
+            if self.config.flatten_buckets:
+                world = self.config.world_size
+                self._packs = [
+                    np.empty((world, elems)) for elems in self._buckets.bucket_elems
+                ]
+                self._pack_work = [None] * self._buckets.n_buckets
         world = range(self.config.world_size)
+        if not self.config.flatten_buckets:
+            for bucket in self._buckets.buckets:
+                for i in bucket:
+                    grads = [self._params[r][i].grad.data for r in world]
+                    self._flush_work[i] = self.comm.allreduce_mean_inplace(
+                        grads, self._flush_work[i]
+                    )
+            return
+        for b, layout in enumerate(self._buckets.layouts):
+            pack = self._packs[b]
+            for r in world:
+                row = pack[r]
+                for i, off, n in layout:
+                    np.copyto(row[off : off + n], self._params[r][i].grad.data.ravel())
+            self._pack_work[b] = self.comm.allreduce_mean_inplace(
+                list(pack), self._pack_work[b]
+            )
+            for r in world:
+                row = pack[r]
+                for i, off, n in layout:
+                    grad = self._params[r][i].grad.data
+                    np.copyto(grad, row[off : off + n].reshape(grad.shape))
+
+    def measured_ready_fractions(self) -> list[float] | None:
+        """Measured per-bucket gradient-completion fractions, or ``None``.
+
+        Replays rank 0's most recent compiled program with per-instruction
+        timestamps (:meth:`~repro.tensor.compile.CompiledStep.replay_measured`)
+        and reads, for each flush bucket, the time at which the launch
+        completing its *last* gradient finished — measured readiness in
+        replay order instead of the byte-share model.  Fractions are of the
+        whole replayed step; ``None`` when not compiling or before the first
+        replayed/captured step.
+        """
+        if self.compilers is None or self._buckets is None:
+            return None
+        prog = self.compilers[0].last_program
+        if prog is None or not prog.grad_writes:
+            return None
+        times = prog.replay_measured()
+        if times.size == 0 or times[-1] <= 0.0:
+            return None
+        total = float(times[-1])
+        slot_of = dict(prog.grad_writes)
+        fractions = []
         for bucket in self._buckets.buckets:
-            for i in bucket:
-                grads = [self._params[r][i].grad.data for r in world]
-                self._flush_work[i] = self.comm.allreduce_mean_inplace(
-                    grads, self._flush_work[i]
-                )
+            idxs = [
+                prog.grad_instr_index(slot_of[i]) for i in bucket if i in slot_of
+            ]
+            idx = max(idxs, default=-1)
+            fractions.append(float(times[idx]) / total if idx >= 0 else 0.0)
+        return fractions
 
     def modeled_overlap(
-        self, spec: ClusterSpec, backward_time: float | None = None
+        self,
+        spec: ClusterSpec,
+        backward_time: float | None = None,
+        measured: bool | None = None,
     ) -> OverlapResult:
         """Alpha-beta overlap of the real bucket layout behind the backward.
 
-        Feeds the liveness-ordered per-bucket payloads and byte-weighted
-        ready times (not a uniform spread) into
-        :func:`repro.comm.cost_model.simulate_overlap`.  ``backward_time``
-        defaults to 2/3 of the mean max-rank compute measured so far.
+        Feeds the liveness-ordered per-bucket payloads and their ready times
+        into :func:`repro.comm.cost_model.simulate_overlap`.  Ready times
+        come from :meth:`measured_ready_fractions` (instrumented replay of
+        the captured program, rescaled into the backward window) when
+        compiling — the byte-share-of-backward model is the fallback, or is
+        forced with ``measured=False``.  ``backward_time`` defaults to 2/3
+        of the mean max-rank compute measured so far.
         """
         if self._buckets is None:
             raise RuntimeError("run at least one training step first")
@@ -337,6 +438,16 @@ class DistributedTrainer:
                 np.mean([s.rank_compute_seconds.max() for s in self.steps])
             )
             backward_time = 2.0 / 3.0 * mean_compute
+        fractions = None
+        if measured is None or measured:
+            fractions = self.measured_ready_fractions()
+            if fractions is None and measured:
+                raise RuntimeError(
+                    "measured ready times require a compiled trainer with at "
+                    "least one captured step"
+                )
+        if fractions is None:
+            fractions = self._buckets.ready_fractions
         buckets = self._buckets
         return simulate_overlap(
             backward_time=backward_time,
@@ -344,7 +455,7 @@ class DistributedTrainer:
             world_size=self.config.world_size,
             spec=spec,
             bucket_bytes=buckets.bucket_bytes,
-            ready_times=[f * backward_time for f in buckets.ready_fractions],
+            ready_times=[min(f, 1.0) * backward_time for f in fractions],
         )
 
     def compile_stats(self) -> dict[str, int] | None:

@@ -28,6 +28,14 @@ class TrainConfig:
     automatic eager fallback when a program's guards fail.
     ``compile_bucket=False`` disables the padding (programs are then keyed
     by exact batch shapes, useful for strict eager-equality testing).
+
+    ``compile_blocks`` selects the loader's size-sorted block mode
+    (``None``: iff compiling with buckets) — the single-device analogue of
+    the distributed bucket sampler: static size-sorted batches, one
+    canonical padded shape per tier, so epoch 1 is replay-only after one
+    capture per tier.  ``pad_blocks=False`` yields raw blocks instead and
+    warm-starts the compiler from the block statistics (the compiler then
+    pads), matching the distributed ``pad_shards=False`` fallback.
     """
 
     epochs: int = 30
@@ -41,6 +49,13 @@ class TrainConfig:
     cosine_eta_min_frac: float = 0.01
     compile: bool = False
     compile_bucket: bool = True
+    compile_blocks: bool | None = None
+    pad_blocks: bool = True
+
+    def use_blocks(self) -> bool:
+        if self.compile_blocks is not None:
+            return self.compile_blocks
+        return self.compile and self.compile_bucket
 
     def resolve_lr(self, effective_batch_size: int | None = None) -> float:
         """The initial learning rate.
@@ -89,11 +104,15 @@ class Trainer:
         self.optimizer = Adam(
             model.parameters(), lr=self.config.resolve_lr(effective_batch_size)
         )
+        use_blocks = self.config.use_blocks()
         self.loader = DataLoader(
             train_dataset,
             batch_size=effective_batch_size,
             seed=self.config.seed,
             prefetch=self.config.prefetch,
+            blocks=use_blocks,
+            pad=self.config.pad_blocks if use_blocks else None,
+            memoize=True if use_blocks else None,
         )
         self.compiler = None
         if self.config.compile:
@@ -102,6 +121,12 @@ class Trainer:
             self.compiler = StepCompiler(
                 model, self.loss_fn, bucket=self.config.compile_bucket
             )
+            # Pre-padded blocks carry static tier shapes already; raw blocks
+            # seed the compiler's canonical tiers so epoch 1 stays
+            # replay-only after one capture per tier (the distributed
+            # trainers' warm start, on the single-device path).
+            if use_blocks and not self.config.pad_blocks:
+                self.compiler.warm_start(self.loader.warm_start_entries(has_labels=True))
         total_steps = max(1, len(self.loader) * self.config.epochs)
         self.scheduler = CosineAnnealingLR(
             self.optimizer,

@@ -126,7 +126,9 @@ class TestTrainableMask:
         assert bucketed == [i for i, t in enumerate(mask) if t]
 
     def test_flush_scratch_reused_across_steps(self, dataset):
-        dt = DistributedTrainer(factory, dataset, _cfg(compile=False, epochs=1))
+        dt = DistributedTrainer(
+            factory, dataset, _cfg(compile=False, epochs=1, flatten_buckets=False)
+        )
         shards = next(iter(dt.loader))
         dt.train_step(shards)
         scratch = [w for w in dt._flush_work if w is not None]
@@ -134,6 +136,17 @@ class TestTrainableMask:
         ids = [id(w) for w in dt._flush_work if w is not None]
         dt.train_step(shards)
         assert [id(w) for w in dt._flush_work if w is not None] == ids
+
+    def test_flat_pack_scratch_reused_across_steps(self, dataset):
+        dt = DistributedTrainer(factory, dataset, _cfg(compile=False, epochs=1))
+        shards = next(iter(dt.loader))
+        dt.train_step(shards)
+        assert dt._packs and all(w is not None for w in dt._pack_work)
+        pack_ids = [id(p) for p in dt._packs]
+        work_ids = [id(w) for w in dt._pack_work]
+        dt.train_step(shards)
+        assert [id(p) for p in dt._packs] == pack_ids
+        assert [id(w) for w in dt._pack_work] == work_ids
 
 
 class TestGradientBuckets:
@@ -242,3 +255,110 @@ class TestBucketedOverlapModel:
         assert res.total_time > 0
         assert res.exposed_comm >= 0
         assert dt._buckets.n_buckets <= 4
+
+
+class TestSharedProgramsAcrossRanks:
+    def test_one_capture_per_tier_total_not_per_rank(self, dataset):
+        """With the shared cache, the capture budget is the tier count —
+        not tiers x world_size: rank 0 captures, the others rebind+replay."""
+        dt = DistributedTrainer(factory, dataset, _cfg(compile=True, epochs=2))
+        dt.train()
+        stats = dt.compile_stats()
+        n_tiers = len(dt.sampler.tier_targets)
+        assert stats["captures"] <= n_tiers
+        assert stats["replays"] > stats["captures"]
+        assert stats["eager_fallbacks"] == 0
+        assert dt.replicas_in_sync()
+
+    def test_shared_equals_private_caches_bitwise(self, dataset):
+        shared = DistributedTrainer(
+            factory, dataset, _cfg(compile=True, share_programs=True)
+        )
+        shared.train()
+        private = DistributedTrainer(
+            factory, dataset, _cfg(compile=True, share_programs=False)
+        )
+        private.train()
+        state_s = shared.model.state_dict()
+        state_p = private.model.state_dict()
+        assert all(np.array_equal(state_s[k], state_p[k]) for k in state_s)
+        assert [s.loss for s in shared.steps] == [s.loss for s in private.steps]
+        # private caches pay the capture cost per rank
+        assert (
+            private.compile_stats()["captures"]
+            > shared.compile_stats()["captures"]
+        )
+
+
+class TestFlattenedBucketCollectives:
+    def test_flat_equals_per_param_flush_bitwise(self, dataset):
+        flat = DistributedTrainer(
+            factory, dataset, _cfg(compile=True, flatten_buckets=True)
+        )
+        flat.train()
+        per_param = DistributedTrainer(
+            factory, dataset, _cfg(compile=True, flatten_buckets=False)
+        )
+        per_param.train()
+        state_f = flat.model.state_dict()
+        state_p = per_param.model.state_dict()
+        assert all(np.array_equal(state_f[k], state_p[k]) for k in state_f)
+        assert flat.replicas_in_sync() and per_param.replicas_in_sync()
+
+    def test_one_collective_per_bucket(self, dataset):
+        dt = DistributedTrainer(factory, dataset, _cfg(compile=False, epochs=1))
+        calls = []
+        orig = dt.comm.allreduce_mean_inplace
+
+        def counting(per_rank, work=None):
+            calls.append(per_rank[0].size)
+            return orig(per_rank, work)
+
+        dt.comm.allreduce_mean_inplace = counting
+        dt.train_step(next(iter(dt.loader)))
+        assert len(calls) == dt._buckets.n_buckets
+        assert calls == dt._buckets.bucket_elems
+
+    def test_layouts_cover_buckets(self):
+        params = [TestGradientBuckets._P(4), TestGradientBuckets._P(6)]
+        gb = GradientBuckets(params, [True, True], n_buckets=2)
+        assert gb.bucket_elems == [
+            sum(n for _, _, n in layout) for layout in gb.layouts
+        ]
+        covered = sorted(i for layout in gb.layouts for i, _, _ in layout)
+        assert covered == [0, 1]
+
+
+class TestMeasuredReadyTimes:
+    def test_fractions_available_after_compiled_step(self, dataset):
+        dt = DistributedTrainer(
+            factory, dataset, _cfg(compile=True, epochs=1, n_buckets=4)
+        )
+        assert dt.measured_ready_fractions() is None  # before any step
+        dt.train_epoch()
+        fractions = dt.measured_ready_fractions()
+        assert fractions is not None
+        assert len(fractions) == dt._buckets.n_buckets
+        assert all(0.0 <= f <= 1.0 for f in fractions)
+        # the last-flushed bucket completes near the end of the replay
+        assert fractions[-1] >= max(fractions) - 1e-9
+
+    def test_modeled_overlap_measured_vs_byteshare(self, dataset):
+        dt = DistributedTrainer(
+            factory, dataset, _cfg(compile=True, epochs=1, n_buckets=4)
+        )
+        dt.train_epoch()
+        measured = dt.modeled_overlap(ClusterSpec(), measured=True)
+        modeled = dt.modeled_overlap(ClusterSpec(), measured=False)
+        assert measured.total_time > 0 and modeled.total_time > 0
+        assert measured.comm_time == modeled.comm_time  # same bucket bytes
+
+    def test_measured_requires_compiled_trainer(self, dataset):
+        dt = DistributedTrainer(factory, dataset, _cfg(compile=False, epochs=1))
+        dt.train_step(next(iter(dt.loader)))
+        assert dt.measured_ready_fractions() is None
+        with pytest.raises(RuntimeError):
+            dt.modeled_overlap(ClusterSpec(), measured=True)
+        # auto mode falls back to the byte-share model
+        res = dt.modeled_overlap(ClusterSpec())
+        assert res.total_time > 0

@@ -240,6 +240,51 @@ class TestFusedOutKernels:
         assert res is out
         assert np.array_equal(out, eager)
 
+    def test_fused_envelope_out_bit_identical(self, rng):
+        from repro.tensor.compile import _OUT_IMPLS
+
+        xi = rng.uniform(0.02, 0.98, size=(31,))
+        eager = fused_envelope(Tensor(xi), 8.0).data
+        out = self._out_for(eager)
+        res = _OUT_IMPLS["fused_envelope"](out, xi, p=8.0)
+        assert res is out
+        assert np.array_equal(out, eager)
+
+    def test_fused_envelope_not_chainable(self):
+        """The out= impl reads xi repeatedly, so it must never consume a
+        fused-chain carry buffer (aliasing would corrupt the ladder)."""
+        from repro.tensor.compile import _ELEMENTWISE
+
+        assert "fused_envelope" not in _ELEMENTWISE
+
+    def test_fused_envelope_instr_gets_arena_buffer(self):
+        """fused_envelope appears in the backward VJP chains of a training
+        step (srbf derivative); its replay must write an arena buffer."""
+        from repro.data.dataset import StructureDataset
+        from repro.data.mptrj import generate_mptrj
+        from repro.model import CHGNetConfig, CHGNetModel, OptLevel
+        from repro.tensor.compile import StepCompiler
+        from repro.train.loss import CompositeLoss
+
+        cfg = CHGNetConfig(
+            atom_fea_dim=8,
+            bond_fea_dim=8,
+            angle_fea_dim=8,
+            num_radial=5,
+            angular_order=2,
+            hidden_dim=8,
+            opt_level=OptLevel.FUSED,
+        )
+        ds = StructureDataset(generate_mptrj(6, seed=3, max_atoms=6))
+        model = CHGNetModel(cfg, np.random.default_rng(1))
+        comp = StepCompiler(model, CompositeLoss())
+        comp.step(ds.batch([0, 1, 2, 3]))
+        (prog,) = comp._programs.values()
+        seen = [ins for ins in prog.instrs if ins.name == "fused_envelope"]
+        assert seen  # the VJP chain reaches the compiled program
+        assert all(ins.buf >= 0 and ins.out_impl is not None for ins in seen)
+        comp.release()
+
     def test_fused_fourier_out_bit_identical(self, rng):
         from repro.tensor.compile import _OUT_IMPLS
 

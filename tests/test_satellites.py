@@ -108,3 +108,129 @@ class TestEffectiveBatchLRScaling:
         assert TrainConfig(scale_lr=True, batch_size=256).resolve_lr(8) == pytest.approx(
             scaled_learning_rate(8)
         )
+
+
+class TestBlockModeLoader:
+    """PR-4 satellite: size-sorted block mode for the single-device loader."""
+
+    def _dataset(self, entries):
+        return StructureDataset(entries, memoize_batches=True)
+
+    def test_blocks_cover_every_sample_once(self, entries):
+        from repro.data.loader import DataLoader
+
+        ds = self._dataset(entries)
+        loader = DataLoader(ds, batch_size=5, blocks=True, pad=False)
+        seen = []
+        for (block,) in loader.block_sampler.epoch_partitions(0):
+            seen.extend(int(i) for i in block)
+        assert sorted(seen) == list(range(len(ds)))
+
+    def test_blocks_padded_to_planned_tier_shapes(self, entries):
+        from repro.data.loader import DataLoader
+
+        ds = self._dataset(entries)
+        loader = DataLoader(ds, batch_size=4, blocks=True)
+        shapes_by_epoch = []
+        for _ in range(2):
+            shapes = [
+                (b.num_structs, b.num_atoms, b.num_edges, b.num_angles)
+                for b in loader
+            ]
+            shapes_by_epoch.append(sorted(shapes))
+            assert all(
+                b.pad_info is not None
+                for b in loader._batches(0)
+            )
+        # static block composition: the same padded shapes every epoch
+        assert shapes_by_epoch[0] == shapes_by_epoch[1]
+
+    def test_len_counts_blocks(self, entries):
+        from repro.data.loader import DataLoader
+
+        ds = self._dataset(entries)
+        loader = DataLoader(ds, batch_size=5, blocks=True)
+        assert len(loader) == loader.block_sampler.num_batches()
+        assert len(list(loader)) == len(loader)
+
+    def test_pad_without_blocks_rejected(self, entries):
+        from repro.data.loader import DataLoader
+
+        with pytest.raises(ValueError):
+            DataLoader(self._dataset(entries), batch_size=4, pad=True)
+
+    def test_compiled_trainer_first_epoch_replay_only(self, entries):
+        ds = self._dataset(entries)
+        model = FastCHGNet(np.random.default_rng(0), config=_small_config())
+        trainer = Trainer(
+            model,
+            ds,
+            config=TrainConfig(
+                epochs=2, batch_size=4, learning_rate=1e-4, compile=True
+            ),
+        )
+        assert trainer.loader.block_sampler is not None
+        trainer.train_epoch(0)
+        captures_first = trainer.compiler.stats.captures
+        n_tiers = len(trainer.loader.block_sampler.tier_targets)
+        assert captures_first <= n_tiers
+        trainer.train_epoch(1)
+        assert trainer.compiler.stats.captures == captures_first
+        assert trainer.compiler.stats.replays > 0
+        assert trainer.compiler.stats.eager_fallbacks == 0
+
+    def test_compiled_matches_eager_on_block_pipeline(self, entries):
+        ds = self._dataset(entries)
+
+        def run(compile_flag):
+            model = FastCHGNet(np.random.default_rng(1), config=_small_config())
+            trainer = Trainer(
+                model,
+                ds,
+                config=TrainConfig(
+                    epochs=2,
+                    batch_size=4,
+                    learning_rate=1e-4,
+                    compile=compile_flag,
+                    compile_blocks=True,
+                ),
+            )
+            trainer.train()
+            return model.state_dict(), [r.train_loss for r in trainer.history]
+
+        state_c, losses_c = run(True)
+        state_e, losses_e = run(False)
+        assert losses_c == losses_e
+        assert all(np.array_equal(state_c[k], state_e[k]) for k in state_c)
+
+    def test_unpadded_blocks_warm_start_compiler(self, entries):
+        ds = self._dataset(entries)
+        model = FastCHGNet(np.random.default_rng(2), config=_small_config())
+        trainer = Trainer(
+            model,
+            ds,
+            config=TrainConfig(
+                epochs=2,
+                batch_size=4,
+                learning_rate=1e-4,
+                compile=True,
+                pad_blocks=False,
+            ),
+        )
+        assert trainer.compiler._canonical  # warm-started tier shapes
+        trainer.train_epoch(0)
+        captures_first = trainer.compiler.stats.captures
+        trainer.train_epoch(1)
+        assert trainer.compiler.stats.captures == captures_first
+        assert trainer.compiler.stats.replays > 0
+
+
+def _small_config() -> CHGNetConfig:
+    return CHGNetConfig(
+        atom_fea_dim=8,
+        bond_fea_dim=8,
+        angle_fea_dim=8,
+        num_radial=5,
+        angular_order=2,
+        hidden_dim=8,
+    )
