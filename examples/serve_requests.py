@@ -4,12 +4,15 @@ The serving engine answers the dominant downstream question — "predict
 energy/forces/stress for these N candidate structures" — by micro-batching
 requests per workload tier and replaying cached compiled programs across
 simulated workers.  Every served prediction is bit-identical to evaluating
-that structure alone, eagerly.
+that structure alone, eagerly.  The final section closes the paper's loop:
+a ``ServingTrainer`` fine-tunes while the engine keeps serving, streaming
+each epoch's checkpoint in as a new weight version without draining
+in-flight requests.
 
 Equivalent CLI::
 
     python -m repro.cli serve --requests 64 --workers 2 --compile \
-        --baseline --repeat 2
+        --baseline --repeat 2 --merge-tiers --memoize 32
 
 Run with ``PYTHONPATH=src python examples/serve_requests.py``.
 """
@@ -20,10 +23,11 @@ import time
 
 import numpy as np
 
-from repro.data import generate_mptrj
+from repro.data import generate_mptrj, split_dataset
 from repro.graph.crystal_graph import build_graph
-from repro.model import FastCHGNet
+from repro.model import CHGNetConfig, CHGNetModel, FastCHGNet, OptLevel
 from repro.serve import InferenceEngine
+from repro.train import ServingTrainer, TrainConfig
 
 # A trained model would come from a checkpoint (model.load("weights.npz")).
 model = FastCHGNet(np.random.default_rng(0))
@@ -71,3 +75,57 @@ rid = trickle.submit(graphs[0], now=0.0)
 print("poll before deadline:", trickle.poll(rid, now=0.2))  # None: waiting
 result = trickle.poll(rid, now=0.7)  # deadline passed -> partial batch flushed
 print(f"poll after deadline: E/atom = {result.energy_per_atom:+.4f} eV")
+
+# --- adaptive tier merging on a diverse trickle ----------------------------
+# Exact per-tier queues flush mostly-partial groups on a diverse trickle;
+# merge_tiers lets a deadline-flushed group absorb adjacent tiers (bounded
+# priced padding overhead) so batches stay full.
+merged = InferenceEngine(
+    model, n_workers=1, compile=True, max_batch_structs=8, max_wait=0.05,
+    merge_tiers=True, memoize=32,
+)
+ids = [merged.submit(g, now=i * 0.01) for i, g in enumerate(stream)]
+merged.flush()
+results = [merged.poll(i) for i in ids]
+snap = merged.snapshot()
+print(
+    f"merged trickle: {snap['batches']} batches for {len(results)} requests "
+    f"({snap['merges']} cross-tier absorptions, "
+    f"padding overhead {snap['padding_overhead'] * 100:.1f}%)"
+)
+
+# --- serving under live fine-tuning ----------------------------------------
+# A small model/corpus keeps the demo quick; the mechanics are identical at
+# full size.  The engine serves from published weight *versions*: requests
+# pinned to an old version finish on it bit-identically even when the
+# trainer publishes mid-flight, and publishes never recapture programs.
+cfg = CHGNetConfig(
+    atom_fea_dim=8, bond_fea_dim=8, angle_fea_dim=8, num_radial=5,
+    angular_order=2, hidden_dim=8, opt_level=OptLevel.DECOMPOSE_FS,
+)
+live_model = CHGNetModel(cfg, np.random.default_rng(1))
+corpus = generate_mptrj(24, seed=5, max_atoms=8)
+splits = split_dataset(corpus, seed=0)
+live = InferenceEngine(live_model, n_workers=2, compile=True, max_batch_structs=4)
+candidates = [e.crystal for e in corpus[:6]]
+
+pinned = live.submit(candidates[0], now=0.0)  # queued before training starts
+trainer = ServingTrainer(
+    live_model,
+    splits.train,
+    live,
+    config=TrainConfig(epochs=2, batch_size=8, seed=0),
+    publish_every=1,  # stream every epoch's checkpoint into the fleet
+)
+trainer.train()
+print(
+    f"published versions {trainer.published_versions} while serving; "
+    f"current = {live.current_version}"
+)
+old = live.poll(pinned, now=10.0)  # deadline flush: served on its pinned v0
+fresh = live.predict_many(candidates)  # served on the newest checkpoint
+print(
+    f"pinned request served on v{old.version}, fresh batch on "
+    f"v{fresh[0].version}; recaptures on publish: 0 "
+    f"(captures = {live.snapshot()['captures']} across both versions)"
+)

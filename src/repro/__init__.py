@@ -11,8 +11,10 @@ backward, a simulated multi-GPU runtime, periodic-crystal structures and
 graphs, a synthetic MPtrj dataset with a DFT oracle, and a molecular-dynamics
 driver.
 
-See ``DESIGN.md`` for the system inventory and ``EXPERIMENTS.md`` for the
-paper-vs-measured record of every table and figure.
+See ``README.md`` for install/quickstart, ``docs/architecture.md`` for the
+layer inventory and the bit-identity contract, ``docs/serving.md`` for the
+inference service, and ``benchmarks/README.md`` for the paper-vs-measured
+map of every table and figure.
 """
 
 __version__ = "1.0.0"

@@ -216,6 +216,7 @@ class BucketBatchSampler(LoadBalanceSampler):
 
     # ------------------------------------------------------------ scheduling
     def num_batches(self) -> int:
+        """Fixed blocks per epoch (the tail short block included)."""
         return len(self._blocks)
 
     def _block_order(self, epoch: int) -> np.ndarray:
@@ -223,11 +224,21 @@ class BucketBatchSampler(LoadBalanceSampler):
         return rng.permutation(len(self._blocks))
 
     def global_batches(self, epoch: int = 0) -> Iterator[np.ndarray]:
+        """Yield the fixed size-sorted blocks in this epoch's shuffled order.
+
+        Unlike the base sampler, batch *composition* never changes across
+        epochs — only the visit order does — which is what keeps shard
+        shapes (and compiled programs) static.
+        """
         for i in self._block_order(epoch):
             yield self._blocks[i]
 
     def epoch_partitions(self, epoch: int = 0) -> Iterator[list[np.ndarray]]:
-        # Shards are fixed per block, so reuse the cached pairing.
+        """Per-iteration rank shards in this epoch's shuffled block order.
+
+        Shards are fixed per block, so the cached pairing is reused rather
+        than recomputed.
+        """
         for i in self._block_order(epoch):
             yield self._shards[i]
 

@@ -500,6 +500,53 @@ def canonical_targets(
         targets = merged
 
 
+def group_padded_targets(
+    members: Iterable[tuple[int, int, int, int]],
+    seeds: Sequence[tuple[int, int, int, int]] = (),
+) -> tuple[int, int, int, int]:
+    """Padded (atoms, edges, short, angles) a collated group would receive.
+
+    ``members`` are per-structure graph dims.  The group collates into one
+    batch carrying the elementwise *sum* of those counts, which is then
+    rounded up to bucket boundaries and made ghost-feasible exactly as the
+    compiled-step managers pad a batch.  ``seeds`` merge previously planned
+    shapes into the targets (e.g. a shared canonical tier entry), letting
+    callers price the padding a batch will *really* get — the serving
+    engine's adaptive tier merging uses this to bound merge overhead.
+    Returns the summed counts unchanged when no padding would be applied.
+    """
+    members = [tuple(int(c) for c in m) for m in members]
+    if not members:
+        raise ValueError("group_padded_targets needs at least one member")
+    summed = tuple(int(c) for c in np.sum(np.asarray(members, dtype=np.int64), axis=0))
+    targets = tuple(bucket_size(c) for c in summed)
+    if targets == summed:
+        # Mirrors the compiled-step managers' early return: a batch already
+        # on every bucket boundary is served unpadded, canonical tier entry
+        # or not, so seeds must not inflate its price.
+        return summed
+    for s in seeds:
+        targets = tuple(max(a, int(b)) for a, b in zip(targets, s))
+    return feasible_targets_for_counts(summed, targets)
+
+
+def padding_overhead(
+    members: Iterable[tuple[int, int, int, int]],
+    seeds: Sequence[tuple[int, int, int, int]] = (),
+) -> float:
+    """Relative extra workload padding adds to a collated group.
+
+    ``workload_cost(padded) / sum(workload_cost(member)) - 1``: ``0.0``
+    means the group is served at exactly its raw cost, ``0.25`` means a
+    quarter of the padded batch's work is ghost rows.  ``members``/``seeds``
+    as in :func:`group_padded_targets`.
+    """
+    members = [tuple(int(c) for c in m) for m in members]
+    raw = sum(workload_cost(*m) for m in members)
+    padded = workload_cost(*group_padded_targets(members, seeds=seeds))
+    return padded / max(raw, 1) - 1.0
+
+
 def bucket_targets(batch: GraphBatch) -> tuple[int, int, int, int]:
     """Bucketed (atoms, edges, short, angles) targets for ``batch``.
 

@@ -88,6 +88,7 @@ class ModelCalculator(Calculator):
         crystals: list[Crystal],
         batch_structs: int = 8,
         n_workers: int = 1,
+        memoize: int = 0,
     ) -> list[CalcResult]:
         """Batched single-point evaluation of many structures.
 
@@ -95,9 +96,14 @@ class ModelCalculator(Calculator):
         served through a lazily-created :class:`repro.serve.InferenceEngine`
         (kept across calls, so its program cache stays warm): structures are
         micro-batched per workload tier and — when the calculator was built
-        with ``compile=True`` — evaluated by cached-program replay.  Results
-        are bit-identical to calling :meth:`calculate` per structure without
-        a skin list.
+        with ``compile=True`` — evaluated by cached-program replay.
+        ``memoize=N`` passes through to the engine's collate memoization:
+        repeated calls over the *same* crystal objects (relaxation loops,
+        committee evaluation) then reuse both their built graphs and their
+        collated micro-batches, binding and replaying with zero
+        re-concatenation (crystals must not be mutated between calls).
+        Results are bit-identical to calling :meth:`calculate` per structure
+        without a skin list.
         """
         from repro.serve import InferenceEngine
 
@@ -106,17 +112,19 @@ class ModelCalculator(Calculator):
             engine is None
             or engine.max_batch_structs != batch_structs
             or engine.n_workers != n_workers
+            or engine.memoize != memoize
         ):
             engine = InferenceEngine(
                 self.model,
                 n_workers=n_workers,
                 compile=self._compiler is not None,
                 max_batch_structs=batch_structs,
+                memoize=memoize,
             )
             self._engine = engine
         else:
-            # The model may have been fine-tuned between calls; re-sync the
-            # worker replicas so no batch is served with stale weights.
+            # The model may have been fine-tuned between calls; publish its
+            # current weights so no batch is served on a stale version.
             engine.refresh_weights()
         return [
             CalcResult(

@@ -19,6 +19,41 @@ Micro-batching
     compiler to the tier's canonical shape, so nearly every batch **replays
     a cached program** instead of recompiling or re-taping.
 
+Adaptive tier merging
+    A diverse trickle under exact per-tier queues produces many deadline
+    flushes of nearly-empty groups.  With ``merge_tiers=True`` a partial
+    group that hits its deadline absorbs pending same-version requests from
+    **adjacent tiers** (nearest tier first, FIFO within a tier) until it is
+    full or the next absorption would push the group's priced padding
+    overhead — :func:`repro.graph.batching.padding_overhead` of the merged
+    dims against the canonical shape the compiler will pad to — past
+    ``merge_overhead_cap``.  Fuller batches amortize per-batch dispatch cost
+    at a bounded ghost-row price; per-structure results stay bit-identical
+    regardless of grouping (see below).
+
+Versioned weights (serving under live fine-tuning)
+    The engine keeps a registry of **published weight versions**.
+    :meth:`publish_weights` snapshots the source model (or an explicit state
+    dict, e.g. streamed from :class:`repro.train.ServingTrainer`) as a new
+    version and makes it the default for new requests; every request is
+    **pinned** to a version at submit time, so requests already queued when
+    a publish lands still finish on the weights they entered with.  Worker
+    replicas rebind **copy-on-write**: a publish copies nothing into the
+    workers — a worker installs a version's arrays (by reference) only when
+    it actually dispatches a batch pinned to a version it is not currently
+    holding.  Programs in the :class:`~repro.tensor.compile.SharedProgramCache`
+    are keyed by batch-shape signature only and rebind parameters on every
+    replay, so a publish triggers **zero recaptures**.
+
+Engine-side collate memoization
+    With ``memoize=N`` the engine keeps an LRU of collated micro-batches
+    keyed by the identity of the member graphs (and an LRU of built graphs
+    keyed by crystal identity), so recurring pools — relaxation loops,
+    committee evaluation, repeated screening passes — bind-and-replay with
+    zero re-concatenation, mirroring the training loaders' batch
+    memoization.  Submitted objects must be treated as immutable once
+    built, the same read-only contract the training pipeline requires.
+
 Workers and the shared program cache
     Batches fan out across ``n_workers`` simulated workers, each holding its
     own model replica and :class:`~repro.tensor.compile.InferenceCompiler` —
@@ -40,20 +75,29 @@ Bit-identity
     kernel choice normally varies with the row count, are routed through
     the row-stable evaluation in ``ops_linalg._matmul_np`` (narrow
     products as per-row pairwise reductions, wide ones pinned to the
-    prefix-stable contiguous kernel).  Tests and
-    ``benchmarks/bench_serve.py`` verify the end-to-end guarantee on
-    models with non-trivial weights.
+    prefix-stable contiguous kernel).  The same property makes predictions
+    independent of *grouping*, which is what licenses adaptive tier merging
+    and version-interleaved batches.  Tests and
+    ``benchmarks/bench_serve.py`` / ``benchmarks/bench_serve_live.py``
+    verify the end-to-end guarantee on models with non-trivial weights.
 """
 
 from __future__ import annotations
 
 import time
-from collections import deque
+from collections import OrderedDict, deque
 from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.graph.batching import GraphBatch, collate, workload_tier
+from repro.graph.batching import (
+    GraphBatch,
+    collate,
+    group_padded_targets,
+    padding_overhead,
+    workload_cost,
+    workload_tier,
+)
 from repro.graph.crystal_graph import CrystalGraph, build_graph
 from repro.model.chgnet import CHGNetModel
 from repro.structures.crystal import Crystal
@@ -87,6 +131,7 @@ class Prediction:
     worker: int = 0
     batch_structs: int = 1
     latency: float = 0.0  # modeled seconds from submit to batch completion
+    version: int = 0  # weight version this prediction was served on
 
 
 @dataclass
@@ -97,6 +142,18 @@ class EngineStats:
     batches: int = 0
     cache_hits: int = 0
     cache_misses: int = 0
+    #: publish_weights calls (the constructor's initial snapshot included)
+    publishes: int = 0
+    #: requests absorbed across tiers by adaptive merging
+    merges: int = 0
+    #: dispatched batches that mixed more than one workload tier
+    merged_batches: int = 0
+    collate_hits: int = 0
+    collate_misses: int = 0
+    #: summed raw workload cost of all dispatched structures
+    raw_cost: int = 0
+    #: summed priced workload cost of the padded batches serving them
+    padded_cost: int = 0
     #: most recent per-request latencies (bounded sliding window)
     latencies: deque = field(default_factory=lambda: deque(maxlen=_LATENCY_WINDOW))
 
@@ -106,13 +163,31 @@ class EngineStats:
         total = self.cache_hits + self.cache_misses
         return self.cache_hits / total if total else 0.0
 
+    @property
+    def padding_overhead(self) -> float:
+        """Mean relative ghost-row overhead of dispatched batches (0 = none)."""
+        return self.padded_cost / self.raw_cost - 1.0 if self.raw_cost else 0.0
+
+    @property
+    def collate_hit_rate(self) -> float:
+        """Collate-memoization hit rate (0 when memoization is off)."""
+        total = self.collate_hits + self.collate_misses
+        return self.collate_hits / total if total else 0.0
+
     def as_dict(self) -> dict:
+        """Flat dict of all counters plus derived rates (for benches/CLI)."""
         return {
             "requests": self.requests,
             "batches": self.batches,
             "cache_hits": self.cache_hits,
             "cache_misses": self.cache_misses,
             "hit_rate": self.hit_rate,
+            "publishes": self.publishes,
+            "merges": self.merges,
+            "merged_batches": self.merged_batches,
+            "collate_hits": self.collate_hits,
+            "collate_misses": self.collate_misses,
+            "padding_overhead": self.padding_overhead,
             "latency_p50": percentile(self.latencies, 50),
             "latency_p95": percentile(self.latencies, 95),
         }
@@ -123,17 +198,21 @@ class _Pending:
     request_id: int
     graph: CrystalGraph
     submitted: float
+    version: int
+    dims: tuple[int, int, int, int]
 
 
 class InferenceEngine:
-    """Dynamic-batching inference server over one trained model.
+    """Dynamic-batching inference server over versioned model weights.
 
     Parameters
     ----------
     model:
-        The source of truth for weights.  ``n_workers - 1`` additional
-        replicas are constructed and kept in sync via
-        :meth:`refresh_weights`.
+        The source of truth for weights.  ``n_workers`` replicas serve the
+        traffic; the source model itself is never evaluated by the engine,
+        so a trainer may keep fine-tuning it while the engine serves —
+        weights only reach the workers through published version snapshots
+        (:meth:`publish_weights`; the constructor publishes version 0).
     n_workers:
         Simulated workers; batches go to the worker whose virtual clock
         frees up first.
@@ -148,6 +227,26 @@ class InferenceEngine:
     max_wait:
         Deadline (seconds, on the caller-supplied ``now`` clock) after
         which a partial tier queue is flushed by :meth:`poll`/:meth:`submit`.
+    max_programs:
+        LRU capacity of the worker-shared program cache.
+    merge_tiers:
+        Enable adaptive micro-batching: deadline-flushed partial groups
+        absorb pending same-version requests from adjacent tiers, bounded
+        by ``merge_overhead_cap`` (see the module docstring).
+    merge_overhead_cap:
+        Maximum priced padding overhead (relative ghost-row workload,
+        :func:`repro.graph.batching.padding_overhead`) a merged group may
+        reach; absorption from a tier stops at the first request that
+        would exceed it.
+    memoize:
+        LRU entries for engine-side collate memoization (``0`` disables).
+        Micro-batches are cached by member-graph identity and built graphs
+        by crystal identity, so recurring pools re-serve with zero
+        re-concatenation.  Submitted objects must not be mutated afterwards.
+    max_versions:
+        Soft cap on retained weight versions: publishing prunes the oldest
+        versions not pinned by queued requests, not installed on a worker
+        and not current (in-flight pins are never evicted).
     """
 
     def __init__(
@@ -158,6 +257,10 @@ class InferenceEngine:
         max_batch_structs: int = 8,
         max_wait: float = 0.05,
         max_programs: int = 16,
+        merge_tiers: bool = False,
+        merge_overhead_cap: float = 0.5,
+        memoize: int = 0,
+        max_versions: int = 4,
     ) -> None:
         if n_workers < 1:
             raise ValueError(f"n_workers must be >= 1, got {n_workers}")
@@ -165,16 +268,29 @@ class InferenceEngine:
             raise ValueError(f"max_batch_structs must be >= 1, got {max_batch_structs}")
         if max_wait < 0:
             raise ValueError(f"max_wait must be non-negative, got {max_wait}")
+        if merge_overhead_cap < 0:
+            raise ValueError(
+                f"merge_overhead_cap must be non-negative, got {merge_overhead_cap}"
+            )
+        if memoize < 0:
+            raise ValueError(f"memoize must be non-negative, got {memoize}")
+        if max_versions < 1:
+            raise ValueError(f"max_versions must be >= 1, got {max_versions}")
         self.model = model
         self.config = model.config
         self.n_workers = n_workers
         self.max_batch_structs = max_batch_structs
         self.max_wait = max_wait
-        self.workers: list[CHGNetModel] = [model]
-        for w in range(1, n_workers):
-            replica = CHGNetModel(model.config, np.random.default_rng(w))
-            replica.load_state_dict(model.state_dict())
-            self.workers.append(replica)
+        self.merge_tiers = merge_tiers
+        self.merge_overhead_cap = float(merge_overhead_cap)
+        self.memoize = int(memoize)
+        self.max_versions = max_versions
+        self.workers: list[CHGNetModel] = [
+            CHGNetModel(model.config, np.random.default_rng(w))
+            for w in range(n_workers)
+        ]
+        self._worker_params = [replica.parameters() for replica in self.workers]
+        self._worker_version = [-1] * n_workers
         self.cache: SharedProgramCache | None = None
         self.compilers: list[InferenceCompiler] | None = None
         if compile:
@@ -184,44 +300,154 @@ class InferenceEngine:
             ]
         self.stats = EngineStats()
         self._worker_free = [0.0] * n_workers
-        self._queues: dict[int, list[_Pending]] = {}
+        # (version, tier) -> FIFO of pending requests
+        self._queues: dict[tuple[int, int], list[_Pending]] = {}
         self._results: dict[int, Prediction] = {}
         self._next_id = 0
         self._now = 0.0
+        self._collate_cache: OrderedDict[tuple, tuple[list, GraphBatch]] = OrderedDict()
+        self._graph_cache: OrderedDict[int, tuple[Crystal, CrystalGraph]] = OrderedDict()
+        # version id -> parameter arrays aligned with model.parameters() order
+        self._versions: OrderedDict[int, list[np.ndarray]] = OrderedDict()
+        self._next_version = 0
+        self.current_version = -1
+        self.publish_weights()
 
     # ------------------------------------------------------------ weight sync
-    def refresh_weights(self) -> None:
-        """Re-sync every worker replica from the source model.
+    def publish_weights(
+        self, state: dict[str, np.ndarray] | None = None, version: int | None = None
+    ) -> int:
+        """Register a new weight version and make it current; returns its id.
 
-        Cached programs survive: replays bind parameter arrays on every
-        call, so the next batch on each worker simply rebinds the new
-        weights.
+        ``state`` is a ``name -> array`` state dict (validated against the
+        model's parameter names/shapes); ``None`` snapshots the source
+        model's current weights — the hook a live trainer uses at epoch end
+        (:class:`repro.train.ServingTrainer`).  ``version`` picks an
+        explicit id (must be unused); ``None`` auto-increments.
+
+        Publishing is **copy-on-write** with respect to the workers: the
+        snapshot is one array copy into the registry, worker replicas
+        rebind to it lazily (by reference) when they next serve a batch
+        pinned to it, and cached programs never recapture — their
+        signatures contain no weights, and replays rebind parameters on
+        every call.  Requests already queued stay pinned to the version
+        they were submitted under.
         """
-        state = self.model.state_dict()
-        for replica in self.workers[1:]:
-            replica.load_state_dict(state)
+        if state is None:
+            arrays = [p.data.copy() for p in self.model.parameters()]
+        else:
+            arrays = self.workers[0].aligned_state(state)
+        if len(arrays) != len(self._worker_params[0]):
+            raise ValueError(
+                f"{len(arrays)} parameter arrays for "
+                f"{len(self._worker_params[0])} worker parameters"
+            )
+        if version is None:
+            version = self._next_version
+        elif int(version) < 0:
+            # Negative ids are reserved (the workers' "nothing installed"
+            # sentinel is -1).
+            raise ValueError(f"version must be non-negative, got {version}")
+        elif int(version) in self._versions:
+            raise ValueError(f"version {version} already published")
+        version = int(version)
+        self._next_version = max(self._next_version, version) + 1
+        self._versions[version] = arrays
+        self.current_version = version
+        self.stats.publishes += 1
+        self._prune_versions()
+        return version
+
+    def refresh_weights(self) -> int:
+        """Publish the source model's current weights as a new version.
+
+        Equivalent to :meth:`publish_weights` with no arguments (the
+        pre-versioning name, kept for callers that just fine-tuned the
+        source model in place).  Returns the new version id; cached
+        programs survive — replays bind parameter arrays on every call.
+        """
+        return self.publish_weights()
+
+    @property
+    def versions(self) -> list[int]:
+        """Ids of the currently retained weight versions (oldest first)."""
+        return list(self._versions)
+
+    def _prune_versions(self) -> None:
+        if len(self._versions) <= self.max_versions:
+            return
+        pinned = {p.version for queue in self._queues.values() for p in queue}
+        pinned.add(self.current_version)
+        pinned.update(v for v in self._worker_version if v >= 0)
+        for v in list(self._versions):
+            if len(self._versions) <= self.max_versions:
+                break
+            if v not in pinned:
+                del self._versions[v]
+
+    def _ensure_version(self, worker: int, version: int) -> None:
+        """Install ``version``'s arrays on ``worker`` (by reference) if stale."""
+        if self._worker_version[worker] == version:
+            return
+        arrays = self._versions.get(version)
+        if arrays is None:
+            raise RuntimeError(f"weight version {version} evicted while in flight")
+        # Zero-copy rebinding: registry arrays are private snapshots and
+        # workers never write parameter data in place, so replicas (and the
+        # compiled programs bound through them) can share them directly.
+        for p, arr in zip(self._worker_params[worker], arrays):
+            p.data = arr
+        self._worker_version[worker] = version
 
     # ------------------------------------------------------------- submission
     def _graph_of(self, item: Crystal | CrystalGraph) -> CrystalGraph:
         if isinstance(item, CrystalGraph):
             return item
-        return build_graph(item, self.config.cutoff_atom, self.config.cutoff_bond)
+        if self.memoize:
+            entry = self._graph_cache.get(id(item))
+            if entry is not None and entry[0] is item:
+                self._graph_cache.move_to_end(id(item))
+                return entry[1]
+        graph = build_graph(item, self.config.cutoff_atom, self.config.cutoff_bond)
+        if self.memoize:
+            self._graph_cache[id(item)] = (item, graph)
+            if len(self._graph_cache) > self.memoize * self.max_batch_structs:
+                self._graph_cache.popitem(last=False)
+        return graph
 
-    def submit(self, item: Crystal | CrystalGraph, now: float | None = None) -> int:
+    def submit(
+        self,
+        item: Crystal | CrystalGraph,
+        now: float | None = None,
+        version: int | None = None,
+    ) -> int:
         """Enqueue one structure; returns its request id.
 
-        Full tier queues flush immediately; partial queues wait for more
-        same-tier work until ``max_wait`` passes on the ``now`` clock.
+        The request is pinned to ``version`` (default: the current one) and
+        is served on exactly those weights even if newer versions are
+        published while it waits.  Full tier queues flush immediately;
+        partial queues wait for more same-tier work until ``max_wait``
+        passes on the ``now`` clock.
         """
         now = self._advance(now)
+        if version is None:
+            version = self.current_version
+        elif version not in self._versions:
+            raise ValueError(f"version {version!r} is not published")
         graph = self._graph_of(item)
-        tier = workload_tier(
-            (graph.num_atoms, graph.num_edges, graph.num_short_edges, graph.num_angles)
+        dims = (
+            graph.num_atoms,
+            graph.num_edges,
+            graph.num_short_edges,
+            graph.num_angles,
         )
         request_id = self._next_id
         self._next_id += 1
         self.stats.requests += 1
-        self._queues.setdefault(tier, []).append(_Pending(request_id, graph, now))
+        key = (version, workload_tier(dims))
+        self._queues.setdefault(key, []).append(
+            _Pending(request_id, graph, now, version, dims)
+        )
         self._flush_ready(now)
         return request_id
 
@@ -237,24 +463,23 @@ class InferenceEngine:
         self._flush_ready(now)
         return self._results.pop(request_id, None)
 
-    def flush(self, now: float | None = None) -> int:
-        """Dispatch every queued request regardless of batch size/deadline."""
+    def flush(self, now: float | None = None, merge: bool | None = None) -> int:
+        """Dispatch every queued request regardless of batch size/deadline.
+
+        ``merge`` controls whether partial tail groups absorb adjacent-tier
+        requests (default: the engine's ``merge_tiers`` setting).  Returns
+        the number of batches dispatched.
+        """
         now = self._advance(now)
-        n = 0
-        for tier in sorted(self._queues):
-            queue = self._queues[tier]
-            while queue:
-                group, self._queues[tier] = (
-                    queue[: self.max_batch_structs],
-                    queue[self.max_batch_structs :],
-                )
-                queue = self._queues[tier]
-                self._dispatch(group, now)
-                n += 1
-        return n
+        merge = self.merge_tiers if merge is None else merge
+        return sum(
+            self._drain(key, now, merge, lambda queue: True)
+            for key in sorted(self._queues)
+        )
 
     @property
     def pending(self) -> int:
+        """Number of submitted requests not yet dispatched in a batch."""
         return sum(len(q) for q in self._queues.values())
 
     def _advance(self, now: float | None) -> float:
@@ -263,15 +488,88 @@ class InferenceEngine:
         return self._now
 
     def _flush_ready(self, now: float) -> None:
-        for tier in sorted(self._queues):
-            queue = self._queues[tier]
-            while len(queue) >= self.max_batch_structs:
-                group = queue[: self.max_batch_structs]
-                self._queues[tier] = queue = queue[self.max_batch_structs :]
-                self._dispatch(group, now)
-            if queue and now - queue[0].submitted >= self.max_wait:
-                self._queues[tier] = []
-                self._dispatch(queue, now)
+        for key in sorted(self._queues):
+            self._drain(
+                key,
+                now,
+                self.merge_tiers,
+                lambda queue: now - queue[0].submitted >= self.max_wait,
+            )
+
+    def _drain(self, key: tuple[int, int], now: float, merge: bool, tail) -> int:
+        """Dispatch ``key``'s full groups, then its remainder if ``tail`` says so.
+
+        ``tail(queue)`` decides whether a leftover partial group goes out
+        (deadline expiry for the ready scan, unconditionally for a flush);
+        a dispatched partial absorbs adjacent tiers when ``merge``.
+        Returns the number of batches dispatched.
+        """
+        queue = self._queues.get(key)
+        if not queue:
+            return 0
+        n = 0
+        while len(queue) >= self.max_batch_structs:
+            group = queue[: self.max_batch_structs]
+            self._queues[key] = queue = queue[self.max_batch_structs :]
+            self._dispatch(group, now)
+            n += 1
+        if queue and tail(queue):
+            self._queues[key] = []
+            if merge:
+                queue = self._merge_partial(key, queue)
+            self._dispatch(queue, now)
+            n += 1
+        return n
+
+    # ------------------------------------------------------- adaptive merging
+    def _canonical_seeds(self, dims_list: list[tuple]) -> tuple:
+        """Seed shapes for pricing a group's padding (estimate).
+
+        The shared canonical tier entry the compilers have grown so far for
+        the group's prospective batch tier, so the price reflects the shape
+        the batch will actually be padded to (up to canonical growth caused
+        by the batch itself).
+        """
+        if self.cache is None:
+            return ()
+        summed = tuple(
+            int(s) for s in np.sum(np.asarray(dims_list, dtype=np.int64), axis=0)
+        )
+        stored = self.cache.canonical.get(
+            (len(dims_list) + 1, False, workload_tier(summed))
+        )
+        return () if stored is None else (stored,)
+
+    def _group_overhead(self, dims_list: list[tuple]) -> float:
+        if self.compilers is None:
+            return 0.0  # eager batches are never padded
+        return padding_overhead(dims_list, seeds=self._canonical_seeds(dims_list))
+
+    def _merge_partial(self, key: tuple[int, int], group: list[_Pending]) -> list[_Pending]:
+        """Absorb adjacent-tier same-version requests into a partial group.
+
+        Nearest tiers first, FIFO within a tier; absorption from a tier
+        stops at the first request whose addition would price the merged
+        group's padding overhead above ``merge_overhead_cap``.
+        """
+        version, tier = key
+        dims_list = [p.dims for p in group]
+        candidates = sorted(
+            (k for k in self._queues if k[0] == version and k != key and self._queues[k]),
+            key=lambda k: (abs(k[1] - tier), k[1]),
+        )
+        for k in candidates:
+            queue = self._queues[k]
+            while queue and len(group) < self.max_batch_structs:
+                cand = queue[0]
+                if self._group_overhead(dims_list + [cand.dims]) > self.merge_overhead_cap:
+                    break
+                group.append(queue.pop(0))
+                dims_list.append(cand.dims)
+                self.stats.merges += 1
+            if len(group) >= self.max_batch_structs:
+                break
+        return group
 
     # ------------------------------------------------------------ synchronous
     def predict_many(
@@ -280,8 +578,10 @@ class InferenceEngine:
         """Predict all items, micro-batched per tier; order follows inputs.
 
         All requests are treated as submitted at the engine's current
-        virtual time; the whole set is flushed (tail groups become partial
-        batches), so the call is deterministic and leaves nothing queued.
+        virtual time and pinned to the current weight version; the whole
+        set is flushed with exact per-tier grouping (tail groups become
+        partial batches), so the call is deterministic and leaves nothing
+        queued.
         """
         graphs = [self._graph_of(item) for item in items]
         if self.compilers is not None:
@@ -290,10 +590,23 @@ class InferenceEngine:
         # finished; rebasing the clock keeps its latencies self-contained.
         self._now = max(self._now, self.makespan())
         ids = [self.submit(g) for g in graphs]
-        self.flush()
+        self.flush(merge=False)
         return [self._results.pop(request_id) for request_id in ids]
 
-    def _warm_start(self, graphs: list[CrystalGraph]) -> None:
+    def warm_start(self, items: list[Crystal | CrystalGraph]) -> int:
+        """Seed canonical tier shapes from a known upcoming stream.
+
+        Async callers that know their stream up front (the CLI's queue
+        driver, screening loops) can pre-size tier shapes the way
+        :meth:`predict_many` does implicitly, so first-pass captures happen
+        once per group shape instead of recompiling as canonical shapes
+        grow.  Returns the number of tiers seeded (0 on an eager engine).
+        """
+        if self.compilers is None:
+            return 0
+        return self._warm_start([self._graph_of(item) for item in items])
+
+    def _warm_start(self, graphs: list[CrystalGraph]) -> int:
         """Pre-size canonical tier shapes from the planned micro-batches.
 
         Grouping is simulated ahead of submission (FIFO per tier, chunks of
@@ -315,7 +628,7 @@ class InferenceEngine:
                 entries.append(self._group_entry(queue))
         # The canonical dict is shared through the cache: seeding one
         # compiler seeds them all.
-        self.compilers[0].warm_start(entries)
+        return self.compilers[0].warm_start(entries)
 
     @staticmethod
     def _group_entry(
@@ -325,6 +638,30 @@ class InferenceEngine:
         return (len(dims), False, summed)
 
     # -------------------------------------------------------------- dispatch
+    def _collate_group(self, graphs: list[CrystalGraph]) -> GraphBatch:
+        """Collate a group, through the identity-keyed LRU when memoizing.
+
+        A hit returns the previously assembled :class:`GraphBatch` object —
+        including its pad/aux caches, so the compiled step binds and
+        replays with zero re-concatenation.  Strong references to the
+        member graphs are held alongside the batch to keep the id key
+        valid.
+        """
+        if not self.memoize:
+            return collate(graphs)
+        key = tuple(id(g) for g in graphs)
+        entry = self._collate_cache.get(key)
+        if entry is not None:
+            self._collate_cache.move_to_end(key)
+            self.stats.collate_hits += 1
+            return entry[1]
+        batch = collate(graphs)
+        self.stats.collate_misses += 1
+        self._collate_cache[key] = (list(graphs), batch)
+        if len(self._collate_cache) > self.memoize:
+            self._collate_cache.popitem(last=False)
+        return batch
+
     def _eval_batch(self, worker: int, batch: GraphBatch) -> dict[str, np.ndarray]:
         if self.compilers is not None:
             return self.compilers[worker].run(batch)
@@ -342,8 +679,10 @@ class InferenceEngine:
         }
 
     def _dispatch(self, group: list[_Pending], now: float) -> None:
-        batch = collate([p.graph for p in group])
+        version = group[0].version
+        batch = self._collate_group([p.graph for p in group])
         worker = int(np.argmin(self._worker_free))
+        self._ensure_version(worker, version)
         before = (
             self.cache.hits if self.cache is not None else 0,
             self.cache.misses if self.cache is not None else 0,
@@ -354,6 +693,18 @@ class InferenceEngine:
         if self.cache is not None:
             self.stats.cache_hits += self.cache.hits - before[0]
             self.stats.cache_misses += self.cache.misses - before[1]
+        dims_list = [p.dims for p in group]
+        raw = sum(workload_cost(*d) for d in dims_list)
+        self.stats.raw_cost += raw
+        self.stats.padded_cost += (
+            workload_cost(
+                *group_padded_targets(dims_list, seeds=self._canonical_seeds(dims_list))
+            )
+            if self.compilers is not None
+            else raw
+        )
+        if len({workload_tier(d) for d in dims_list}) > 1:
+            self.stats.merged_batches += 1
         start = max(self._worker_free[worker], now)
         finish = start + service
         self._worker_free[worker] = finish
@@ -374,6 +725,7 @@ class InferenceEngine:
                 worker=worker,
                 batch_structs=len(group),
                 latency=latency,
+                version=version,
             )
 
     # ----------------------------------------------------------------- stats

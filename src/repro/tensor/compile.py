@@ -44,6 +44,12 @@ Managers
     simulated rank or serving worker): a program captured by one sharer
     replays on every other after **parameter rebinding** against that
     sharer's own weights, cutting capture cost by the number of replicas.
+    Because a program's signature contains only batch shapes — never weight
+    values — swapping a sharer's parameter arrays wholesale (the serving
+    engine's **versioned weight hot-swap**) is also just a rebinding:
+    :meth:`CompiledStep.bind` reads ``.data`` fresh on every call (and
+    accepts raw snapshot arrays in the parameter list), so publishing a new
+    checkpoint triggers zero recaptures.
 """
 
 from __future__ import annotations
@@ -631,13 +637,18 @@ class CompiledStep:
     def bind(self, batch: GraphBatch, params: list) -> str | None:
         """Rebind external arrays to a new batch/parameter state.
 
-        Returns ``None`` on success or a human-readable guard-failure reason
-        (the caller then falls back to eager).
+        ``params`` entries may be :class:`~repro.tensor.engine.Tensor`
+        parameters or raw ndarrays (e.g. a serving engine's versioned
+        weight snapshots) — values are read fresh on every bind, which is
+        what makes weight hot-swaps recapture-free.  Returns ``None`` on
+        success or a human-readable guard-failure reason (the caller then
+        falls back to eager).
         """
         slots = self._slots
         for slot, kind, ref, shape, dtype in self.externals:
             if kind == "param":
-                arr = params[ref].data
+                p = params[ref]
+                arr = p.data if isinstance(p, Tensor) else p
             elif kind == "batch":
                 try:
                     arr = batch.bound_array(ref)
@@ -840,12 +851,14 @@ class SharedProgramCache:
         return prog
 
     def store(self, sig: tuple, prog: CompiledStep) -> None:
+        """Insert a program under ``sig``, LRU-evicting beyond ``max_programs``."""
         self.programs[sig] = prog
         if len(self.programs) > self.max_programs:
             _, evicted = self.programs.popitem(last=False)
             evicted.release()
 
     def evict(self, sig: tuple) -> None:
+        """Drop the program for ``sig`` (if cached), returning its arena bytes."""
         prog = self.programs.pop(sig, None)
         if prog is not None:
             prog.release()
@@ -859,11 +872,13 @@ class SharedProgramCache:
 
     @property
     def hit_rate(self) -> float:
+        """Fraction of :meth:`lookup` calls that found a cached program."""
         total = self.hits + self.misses
         return self.hits / total if total else 0.0
 
     @property
     def arena_bytes(self) -> int:
+        """Total arena bytes retained by the cached programs."""
         return sum(p.arena_bytes for p in self.programs.values())
 
 
@@ -901,6 +916,7 @@ class _CompilerBase:
 
     @property
     def max_programs(self) -> int:
+        """LRU capacity of the (possibly shared) program cache."""
         return self.cache.max_programs
 
     @property
@@ -1053,6 +1069,7 @@ class _CompilerBase:
 
     @property
     def arena_bytes(self) -> int:
+        """Arena bytes retained by this compiler's cached programs."""
         return self.cache.arena_bytes
 
 
@@ -1189,6 +1206,12 @@ class InferenceCompiler(_CompilerBase):
         return self.model.forward(batch, training=False)
 
     def run(self, batch: GraphBatch) -> dict[str, np.ndarray]:
+        """One single-point evaluation of ``batch`` (replay when cached).
+
+        Returns ``{"energy", "forces", "stress", "magmom"}`` arrays
+        restricted to the real (un-padded) rows; the views are valid until
+        the next call on this compiler.
+        """
         return self._execute(batch)
 
     def _fallback(self, batch: GraphBatch):

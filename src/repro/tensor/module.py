@@ -67,18 +67,32 @@ class Module:
         """Copy of every parameter's data keyed by dotted name."""
         return {name: p.data.copy() for name, p in self.named_parameters()}
 
-    def load_state_dict(self, state: dict[str, np.ndarray]) -> None:
-        """Load parameter values; shapes must match exactly."""
+    def aligned_state(self, state: dict[str, np.ndarray]) -> list[np.ndarray]:
+        """Validate ``state`` against this module's parameters and return
+        float64 copies of its arrays in :meth:`parameters` order.
+
+        Raises ``KeyError`` on missing/unexpected names and ``ValueError``
+        on shape mismatches.  Shared by :meth:`load_state_dict` and the
+        serving engine's version registry (which stores the aligned arrays
+        instead of loading them into a module).
+        """
         own = dict(self.named_parameters())
         missing = set(own) - set(state)
         unexpected = set(state) - set(own)
         if missing or unexpected:
             raise KeyError(f"state dict mismatch: missing={sorted(missing)} unexpected={sorted(unexpected)}")
+        arrays = []
         for name, p in own.items():
             arr = np.asarray(state[name], dtype=np.float64)
             if arr.shape != p.shape:
                 raise ValueError(f"shape mismatch for {name}: {arr.shape} vs {p.shape}")
-            p.data = arr.copy()
+            arrays.append(arr.copy())
+        return arrays
+
+    def load_state_dict(self, state: dict[str, np.ndarray]) -> None:
+        """Load parameter values; shapes must match exactly."""
+        for p, arr in zip(self.parameters(), self.aligned_state(state)):
+            p.data = arr
 
     def save(self, path: str) -> None:
         """Serialize parameters to an ``.npz`` checkpoint."""

@@ -16,7 +16,7 @@ from repro.train.schedule import (
     CosineAnnealingLR,
     scaled_learning_rate,
 )
-from repro.train.trainer import EpochRecord, TrainConfig, Trainer
+from repro.train.trainer import EpochRecord, ServingTrainer, TrainConfig, Trainer
 
 __all__ = [
     "DistributedConfig",
@@ -40,6 +40,7 @@ __all__ = [
     "CosineAnnealingLR",
     "scaled_learning_rate",
     "EpochRecord",
+    "ServingTrainer",
     "TrainConfig",
     "Trainer",
 ]

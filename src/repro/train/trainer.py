@@ -1,10 +1,24 @@
-"""Single-device trainer: the paper's training loop at any OptLevel."""
+"""Single-device trainer: the paper's training loop at any OptLevel.
+
+:class:`Trainer` runs the loop; :class:`ServingTrainer` extends it with the
+train-while-serving hook — at the end of every ``publish_every``-th epoch it
+publishes the model's weights into a live
+:class:`repro.serve.InferenceEngine` as a new served version, so a fleet
+keeps answering requests (in-flight ones pinned to the version they entered
+with) while the trainer fine-tunes.  Generic epoch-end hooks
+(:meth:`Trainer.add_epoch_hook`) carry the same mechanism for custom
+checkpoint sinks.
+"""
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Callable
 
 import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (serve -> model)
+    from repro.serve import InferenceEngine
 
 from repro.data.dataset import StructureDataset
 from repro.data.loader import DataLoader
@@ -134,6 +148,16 @@ class Trainer:
             eta_min=self.config.cosine_eta_min_frac * self.optimizer.lr,
         )
         self.history: list[EpochRecord] = []
+        self.epoch_hooks: list[Callable[[int, EpochRecord], None]] = []
+
+    def add_epoch_hook(self, hook: Callable[[int, EpochRecord], None]) -> None:
+        """Register ``hook(epoch, record)`` to run at the end of every epoch.
+
+        Hooks run after validation, in registration order — the mechanism
+        behind checkpoint streaming (:class:`ServingTrainer` publishes the
+        fresh weights into a serving engine from one of these).
+        """
+        self.epoch_hooks.append(hook)
 
     def train_step(self, batch: GraphBatch) -> LossBreakdown:
         """One optimization step: forward, composite loss, backward, Adam.
@@ -181,6 +205,8 @@ class Trainer:
         if self.val_dataset is not None:
             record.val, _ = evaluate(self.model, self.val_dataset)
         self.history.append(record)
+        for hook in self.epoch_hooks:
+            hook(epoch, record)
         return record
 
     def train(self, verbose: bool = False) -> list[EpochRecord]:
@@ -197,3 +223,45 @@ class Trainer:
                     msg += f" | val E={record.val.energy_mae * 1e3:7.1f}"
                 print(msg, flush=True)
         return self.history
+
+
+class ServingTrainer(Trainer):
+    """Trainer that streams checkpoints into a live serving engine.
+
+    The train-while-serving loop of iterative fine-tuning: at the end of
+    every ``publish_every``-th epoch the model's weights are published into
+    ``engine`` (:meth:`repro.serve.InferenceEngine.publish_weights`) as a
+    new served version and become the default for new requests.  Requests
+    already queued in the engine stay pinned to the version they were
+    submitted under, and the publish triggers zero program recaptures, so
+    the fleet never drains while training runs.
+
+    When the engine wraps the *same* model object being trained, the
+    publish snapshots it directly; otherwise the state dict is handed over
+    explicitly — either way the engine stores a private copy, so the
+    optimizer's in-place updates never leak into served versions.
+    ``published_versions`` records the version id of every publish.
+    """
+
+    def __init__(
+        self,
+        model,
+        train_dataset: StructureDataset,
+        engine: "InferenceEngine",
+        val_dataset: StructureDataset | None = None,
+        config: TrainConfig | None = None,
+        publish_every: int = 1,
+    ) -> None:
+        if publish_every < 1:
+            raise ValueError(f"publish_every must be >= 1, got {publish_every}")
+        super().__init__(model, train_dataset, val_dataset, config)
+        self.engine = engine
+        self.publish_every = publish_every
+        self.published_versions: list[int] = []
+        self.add_epoch_hook(self._publish)
+
+    def _publish(self, epoch: int, record: EpochRecord) -> None:
+        if (epoch + 1) % self.publish_every:
+            return
+        state = None if self.engine.model is self.model else self.model.state_dict()
+        self.published_versions.append(self.engine.publish_weights(state=state))

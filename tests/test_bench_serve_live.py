@@ -1,0 +1,56 @@
+"""The live-serving benchmark's smoke mode must always run end-to-end."""
+
+from __future__ import annotations
+
+import importlib.util
+import json
+import sys
+from pathlib import Path
+
+import pytest
+
+BENCH = Path(__file__).resolve().parents[1] / "benchmarks" / "bench_serve_live.py"
+
+
+@pytest.fixture(scope="module")
+def bench_module():
+    spec = importlib.util.spec_from_file_location("bench_serve_live", BENCH)
+    module = importlib.util.module_from_spec(spec)
+    sys.modules[spec.name] = module
+    spec.loader.exec_module(module)
+    return module
+
+
+def test_smoke_runs_end_to_end(bench_module, tmp_path):
+    out = tmp_path / "BENCH_serve_live.json"
+    results = bench_module.main(["--smoke", "--out", str(out)])
+
+    assert results["mode"] == "smoke"
+    # hot swap: a mid-flight publish leaves pinned requests bit-identical to
+    # solo eager inference on their pinned weights and recaptures nothing
+    hs = results["hot_swap"]
+    assert hs["recaptures"] == 0 and results["zero_recaptures"]
+    assert hs["pinned_bit_identical"] is True
+    assert hs["fresh_bit_identical"] is True
+    assert hs["publish_seconds"] < 1.0  # a snapshot, not a drain
+
+    # adaptive merging: fewer, fuller batches on the diverse trickle at
+    # bounded extra padding; grouping is virtual-clock-deterministic so the
+    # batch counts are stable even on noisy CI boxes
+    ad = results["adaptive"]
+    assert ad["exact"]["bit_identical"] and ad["merged"]["bit_identical"]
+    assert ad["merged"]["merges_per_pass"] > 0
+    assert ad["merged"]["batches_per_pass"] < ad["exact"]["batches_per_pass"]
+    assert ad["merged"]["mean_batch_structs"] > ad["exact"]["mean_batch_structs"]
+    assert ad["merged"]["structs_per_s"] > 0 and ad["exact"]["structs_per_s"] > 0
+
+    # collate memoization: warm passes re-serve cached batches
+    mm = results["memoize"]
+    assert mm["collate_hits"] > 0
+    assert mm["warm_hit_rate"] >= 0.5
+    assert mm["on_structs_per_s"] > 0
+
+    # the JSON artifact round-trips
+    on_disk = json.loads(out.read_text())
+    assert on_disk["merge_speedup"] == results["merge_speedup"]
+    assert on_disk["hot_swap"]["recaptures"] == 0

@@ -1,0 +1,67 @@
+"""CLI smoke tests: every ``--help`` exits 0 and the text tracks behavior."""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.cli import COMMANDS, build_parser
+
+ROOT = Path(__file__).resolve().parents[1]
+
+
+def test_module_entrypoint_help_exits_zero():
+    """``python -m repro.cli --help`` works from a clean interpreter."""
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(ROOT / "src") + os.pathsep + env.get("PYTHONPATH", "")
+    proc = subprocess.run(
+        [sys.executable, "-m", "repro.cli", "--help"],
+        capture_output=True,
+        text=True,
+        env=env,
+    )
+    assert proc.returncode == 0, proc.stderr
+    assert "serve" in proc.stdout and "train" in proc.stdout
+
+
+@pytest.mark.parametrize("command", [None, *sorted(COMMANDS)])
+def test_every_subcommand_help_exits_zero(command, capsys):
+    argv = ["--help"] if command is None else [command, "--help"]
+    with pytest.raises(SystemExit) as exc:
+        build_parser().parse_args(argv)
+    assert exc.value.code == 0
+    assert capsys.readouterr().out.strip()
+
+
+def _help_of(command: str) -> str:
+    parser = build_parser()
+    sub = next(
+        a for a in parser._actions if isinstance(a, type(parser._subparsers._group_actions[0]))
+    )
+    return sub.choices[command].format_help()
+
+
+def test_serve_help_documents_the_live_serving_flags():
+    text = _help_of("serve")
+    for flag in ("--publish-every", "--merge-tiers", "--memoize", "--compile", "--baseline"):
+        assert flag in text
+    assert "hot-swap" in text or "version" in text
+
+
+def test_train_help_matches_shared_cache_behavior():
+    """PR 3/4 made distributed compiled ranks share one program cache; the
+    --compile help must describe that (the old per-rank-compiler wording
+    was stale)."""
+    text = _help_of("train")
+    assert "share" in text  # shared program cache across ranks
+    assert "--world-size" in text and "--n-buckets" in text
+
+
+def test_md_help_documents_model_only_flags():
+    text = _help_of("md")
+    assert "--skin" in text and "--compile" in text
+    assert "model calculators only" in text

@@ -1,0 +1,101 @@
+"""Documentation guarantees (ISSUE 5 satellites).
+
+Two enforced contracts: the public serving/compile API is fully
+docstring-covered (every public class and method carries at least a
+one-line summary), and the documentation suite the README links to
+actually exists with its promised sections.
+"""
+
+from __future__ import annotations
+
+import inspect
+from pathlib import Path
+
+import pytest
+
+from repro.data.samplers import BucketBatchSampler
+from repro.serve.engine import EngineStats, InferenceEngine, Prediction
+from repro.tensor.compile import (
+    InferenceCompiler,
+    SharedProgramCache,
+    StepCompiler,
+)
+
+ROOT = Path(__file__).resolve().parents[1]
+
+#: The public serving/compile surface under the docstring-coverage contract.
+DOCUMENTED_CLASSES = [
+    InferenceEngine,
+    SharedProgramCache,
+    StepCompiler,
+    InferenceCompiler,
+    BucketBatchSampler,
+    EngineStats,
+    Prediction,
+]
+
+
+def _public_members(cls):
+    for name, member in inspect.getmembers(cls):
+        if name.startswith("_"):
+            continue
+        if inspect.isfunction(member):
+            yield name, member
+        elif isinstance(member, property):
+            yield name, member.fget
+
+
+class TestDocstringCoverage:
+    @pytest.mark.parametrize("cls", DOCUMENTED_CLASSES, ids=lambda c: c.__name__)
+    def test_class_documented(self, cls):
+        assert cls.__doc__ and cls.__doc__.strip(), f"{cls.__name__} lacks a docstring"
+
+    @pytest.mark.parametrize("cls", DOCUMENTED_CLASSES, ids=lambda c: c.__name__)
+    def test_public_methods_documented(self, cls):
+        undocumented = [
+            name
+            for name, fn in _public_members(cls)
+            if fn is not None and not (inspect.getdoc(fn) or "").strip()
+        ]
+        assert not undocumented, (
+            f"{cls.__name__} public members missing docstrings: {undocumented}"
+        )
+
+    def test_surface_is_nontrivial(self):
+        """The coverage test must actually look at methods, not just classes."""
+        names = {n for n, _ in _public_members(InferenceEngine)}
+        assert {"submit", "poll", "flush", "predict_many", "publish_weights"} <= names
+        assert {"lookup", "store", "evict", "release"} <= {
+            n for n, _ in _public_members(SharedProgramCache)
+        }
+
+
+class TestDocsSuite:
+    @pytest.mark.parametrize(
+        "path",
+        ["README.md", "docs/architecture.md", "docs/serving.md", "benchmarks/README.md"],
+    )
+    def test_exists_and_nonempty(self, path):
+        f = ROOT / path
+        assert f.is_file(), f"{path} missing"
+        assert len(f.read_text().strip()) > 200, f"{path} is a stub"
+
+    def test_readme_covers_the_basics(self):
+        text = (ROOT / "README.md").read_text()
+        for required in (
+            "PYTHONPATH=src python -m pytest -x -q",  # tier-1 verify command
+            "repro.cli train",
+            "repro.cli md",
+            "repro.cli serve",
+            "docs/architecture.md",
+            "docs/serving.md",
+            "benchmarks/README.md",
+        ):
+            assert required in text, f"README.md lost its pointer to {required!r}"
+
+    def test_benchmarks_readme_maps_every_bench(self):
+        text = (ROOT / "benchmarks" / "README.md").read_text()
+        for bench in sorted((ROOT / "benchmarks").glob("bench_*.py")):
+            assert bench.name in text, f"benchmarks/README.md misses {bench.name}"
+        for artifact in ("BENCH_serve_live.json", "BENCH_train_step.json"):
+            assert artifact in text
