@@ -1,0 +1,291 @@
+"""Fault-tolerance benchmark: recovery cost, bit-identity, straggler pricing.
+
+Exercises the elastic training stack (ISSUE 6) end to end against an
+uninterrupted reference run on the same dataset:
+
+* **Kill + resume (replacement)** — a rank is killed mid-epoch and the run
+  recovers from the latest step-granular checkpoint at the same world size
+  (:func:`repro.train.elastic.run_elastic` with ``shrink=False``).  The
+  recovered run must finish **bit-identical** to the reference; the
+  benchmark prices the recovery (steps redone, trainer-rebuild seconds,
+  checkpoint write seconds).
+* **Kill + shrink** — the same failure recovered by re-sharding onto the
+  surviving world (``shrink=True``).  Survivor replicas must stay in sync;
+  the benchmark reports the world transition and recovery price.
+* **Straggler mitigation pricing** — one rank's virtual clock is skewed by
+  a fault plan; the modeled synchronized-step time is the max over ranks,
+  so the benchmark reports the slowdown honestly instead of hiding it in
+  an average.  A timeout plan exercises the bounded retry/backoff around
+  the bucketed gradient flush and reports the priced backoff.
+* **Ring accounting** — a ring-traced run checks every recorded transfer
+  against the ``2 (p-1)/p * n`` closed form the cost model assumes.
+
+Writes ``BENCH_fault_tolerance.json`` (and a markdown table) under
+``benchmarks/out/``.  ``--smoke`` shrinks sizes so the whole run takes
+seconds; the tier-1 suite executes that mode end-to-end.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_fault_tolerance.py [--smoke]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import tempfile
+import time
+
+import numpy as np
+
+from repro.bench.reporting import emit, format_table, output_dir
+from repro.comm import FaultPlan
+from repro.data.dataset import StructureDataset
+from repro.data.mptrj import generate_mptrj
+from repro.model import CHGNetConfig, CHGNetModel, OptLevel
+from repro.train import DistributedConfig, DistributedTrainer, run_elastic
+
+WORKLOADS = {
+    "medium": {
+        "structures": 16,
+        "max_atoms": 4,
+        "global_batch": 8,
+        "world_size": 2,
+        "dim": 8,
+        "kill_step": 3,
+    },
+    "large": {
+        "structures": 24,
+        "max_atoms": 8,
+        "global_batch": 8,
+        "world_size": 4,
+        "dim": 16,
+        "kill_step": 5,
+    },
+}
+
+
+def _config(dim: int) -> CHGNetConfig:
+    return CHGNetConfig(
+        atom_fea_dim=dim,
+        bond_fea_dim=dim,
+        angle_fea_dim=dim,
+        num_radial=7,
+        angular_order=3,
+        hidden_dim=dim,
+    )
+
+
+def _factory(dim: int):
+    return lambda: CHGNetModel(
+        _config(dim).with_level(OptLevel.DECOMPOSE_FS), np.random.default_rng(1)
+    )
+
+
+def _dist_config(workload: dict, **overrides) -> DistributedConfig:
+    base = dict(
+        world_size=workload["world_size"],
+        global_batch_size=workload["global_batch"],
+        epochs=2,
+        learning_rate=1e-4,
+        seed=0,
+    )
+    base.update(overrides)
+    return DistributedConfig(**base)
+
+
+def _bit_identical(a: dict, b: dict) -> bool:
+    return set(a) == set(b) and all(np.array_equal(a[k], b[k]) for k in a)
+
+
+def _modeled_epoch_seconds(trainer: DistributedTrainer) -> float:
+    """Sum of per-step synchronized times: each step waits for its slowest rank."""
+    return float(
+        sum(np.max(step.rank_compute_seconds) for step in trainer.steps)
+    )
+
+
+def _ring_closed_form_ok(p: int) -> bool:
+    """Traced volume equals ``2 (p-1)/p * n`` for divisible and ragged n."""
+    from repro.comm.ring import ring_allreduce
+
+    rng = np.random.default_rng(0)
+    for n in (p * 40, p * 40 + 3, 7):
+        bufs = [rng.standard_normal(n) for _ in range(p)]
+        _, trace = ring_allreduce(bufs)
+        if trace.bytes_per_rank != 2 * (p - 1) * n // p * bufs[0].itemsize:
+            return False
+    return True
+
+
+def bench_workload(name: str, workload: dict, tmpdir: str) -> dict:
+    entries = generate_mptrj(
+        workload["structures"], seed=3, max_atoms=workload["max_atoms"]
+    )
+    ds = StructureDataset(entries, memoize_batches=True)
+    factory = _factory(workload["dim"])
+    ckpt = os.path.join(tmpdir, f"{name}.rckpt")
+
+    # Uninterrupted reference (the bit-identity oracle).
+    reference = DistributedTrainer(factory, ds, _dist_config(workload))
+    t0 = time.perf_counter()
+    reference.train()
+    reference_seconds = time.perf_counter() - t0
+    reference_state = reference.model.state_dict()
+
+    # Checkpoint write cost (steady state: one save of the trained state).
+    t0 = time.perf_counter()
+    reference.save_checkpoint(ckpt)
+    checkpoint_write_seconds = time.perf_counter() - t0
+
+    # Kill + replacement resume: same world size, must finish bit-identical.
+    kill_step = workload["kill_step"]
+    plan = FaultPlan().kill(rank=workload["world_size"] - 1, step=kill_step)
+    t0 = time.perf_counter()
+    replaced = run_elastic(
+        factory,
+        ds,
+        _dist_config(workload),
+        checkpoint_path=ckpt,
+        checkpoint_every=2,
+        fault_plan=plan,
+        shrink=False,
+    )
+    replaced_seconds = time.perf_counter() - t0
+    replacement_identical = _bit_identical(
+        reference_state, replaced.trainer.model.state_dict()
+    )
+
+    # Kill + shrink: recover on the surviving world.
+    plan = FaultPlan().kill(rank=0, step=kill_step)
+    shrunk = run_elastic(
+        factory,
+        ds,
+        _dist_config(workload),
+        checkpoint_path=ckpt,
+        checkpoint_every=2,
+        fault_plan=plan,
+        shrink=True,
+    )
+    shrink_event = shrunk.failures[0]
+
+    # Straggler pricing: skew one rank, compare modeled synchronized time.
+    clean = DistributedTrainer(factory, ds, _dist_config(workload, epochs=1))
+    clean.train()
+    straggle_seconds = 0.05
+    plan = FaultPlan().straggle(rank=0, seconds=straggle_seconds)
+    straggled = DistributedTrainer(
+        factory, ds, _dist_config(workload, epochs=1), fault_plan=plan
+    )
+    straggled.train()
+    clean_modeled = _modeled_epoch_seconds(clean)
+    straggled_modeled = _modeled_epoch_seconds(straggled)
+    straggler_consistent = _bit_identical(
+        clean.model.state_dict(), straggled.model.state_dict()
+    )
+
+    # Timeout retry pricing: a transient collective timeout is retried with
+    # priced exponential backoff instead of hanging or dying.
+    plan = FaultPlan().timeout(step=1, attempts=1)
+    retried = DistributedTrainer(
+        factory, ds, _dist_config(workload, epochs=1), fault_plan=plan
+    )
+    retried.train()
+
+    # Ring accounting: a traced run records 2(p-1) steps per collective, and
+    # the recorded volume matches the 2(p-1)/p * n closed form on known
+    # element counts (including non-divisible chunkings).
+    ringed = DistributedTrainer(
+        factory, ds, _dist_config(workload, epochs=1, trace_ring=True)
+    )
+    ringed.train()
+    p = workload["world_size"]
+    ring_ok = bool(ringed.comm.ring_traces) and all(
+        tr.steps == 2 * (p - 1) for tr in ringed.comm.ring_traces
+    )
+    ring_ok = ring_ok and _ring_closed_form_ok(p)
+
+    replacement_event = replaced.failures[0]
+    return {
+        "workload": name,
+        "world_size": workload["world_size"],
+        "reference_seconds": reference_seconds,
+        "checkpoint_write_seconds": checkpoint_write_seconds,
+        "replacement_identical": replacement_identical,
+        "replacement_steps_lost": replacement_event.steps_lost,
+        "replacement_resume_seconds": replacement_event.resume_seconds,
+        "recovery_overhead": replaced_seconds / reference_seconds - 1.0,
+        "shrink_world_before": shrink_event.world_before,
+        "shrink_world_after": shrink_event.world_after,
+        "shrink_survivors_in_sync": shrunk.trainer.replicas_in_sync(),
+        "straggler_slowdown": straggled_modeled / clean_modeled,
+        "straggler_bit_consistent": straggler_consistent,
+        "flush_retries": retried.flush_retries,
+        "backoff_seconds": retried.backoff_seconds,
+        "retried_in_sync": retried.replicas_in_sync(),
+        "ring_traces": len(ringed.comm.ring_traces),
+        "ring_accounting_ok": ring_ok,
+    }
+
+
+def main(argv: list[str] | None = None) -> dict:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--smoke", action="store_true", help="seconds-long run")
+    parser.add_argument("--out", default=None, help="JSON output path")
+    args = parser.parse_args(argv)
+
+    names = ["medium"] if args.smoke else ["medium", "large"]
+    with tempfile.TemporaryDirectory() as tmpdir:
+        results = {
+            "mode": "smoke" if args.smoke else "full",
+            "workloads": {
+                name: bench_workload(name, WORKLOADS[name], tmpdir) for name in names
+            },
+        }
+    medium = results["workloads"]["medium"]
+    results["medium_replacement_identical"] = medium["replacement_identical"]
+    results["medium_recovery_overhead"] = medium["recovery_overhead"]
+
+    out_path = args.out or (output_dir() / "BENCH_fault_tolerance.json")
+    with open(out_path, "w") as fh:
+        json.dump(results, fh, indent=2)
+
+    rows = [
+        [
+            r["workload"],
+            str(r["world_size"]),
+            "bit-equal" if r["replacement_identical"] else "DIVERGED",
+            str(r["replacement_steps_lost"]),
+            f"{r['recovery_overhead'] * 100:.1f}%",
+            f"{r['shrink_world_before']}->{r['shrink_world_after']}",
+            f"{r['straggler_slowdown']:.2f}x",
+            f"{r['flush_retries']} ({r['backoff_seconds'] * 1e3:.1f} ms)",
+            "ok" if r["ring_accounting_ok"] else "BAD",
+        ]
+        for r in results["workloads"].values()
+    ]
+    emit(
+        "fault_tolerance",
+        format_table(
+            [
+                "workload",
+                "ranks",
+                "resume oracle",
+                "steps redone",
+                "recovery overhead",
+                "shrink",
+                "straggler slowdown",
+                "flush retries",
+                "ring trace",
+            ],
+            rows,
+            title="Elastic fault tolerance (kill/resume, shrink, stragglers)",
+        ),
+    )
+    print(f"wrote {out_path}")
+    return results
+
+
+if __name__ == "__main__":
+    main()

@@ -62,6 +62,49 @@ def _add_train(sub: argparse._SubParsersAction) -> None:
         help="gradient buckets for the overlapped allreduce flush "
         "(distributed runs only)",
     )
+    p.add_argument(
+        "--state",
+        default="",
+        help="save a full training-state checkpoint (model + optimizer "
+        "moments + schedule + data cursor, CRC-validated atomic write) to "
+        "this path while training; required by --inject-fault",
+    )
+    p.add_argument(
+        "--checkpoint-every",
+        type=int,
+        default=1,
+        metavar="N",
+        help="training-state checkpoint cadence: every N steps for "
+        "distributed runs, every N epochs for single-device runs "
+        "(with --state)",
+    )
+    p.add_argument(
+        "--resume",
+        default="",
+        metavar="PATH",
+        help="resume training from a --state checkpoint; the run picks up "
+        "mid-epoch at the exact step and finishes bit-identical to an "
+        "uninterrupted run at the same world size",
+    )
+    p.add_argument(
+        "--inject-fault",
+        action="append",
+        default=[],
+        metavar="SPEC",
+        help="inject a failure into the simulated comm layer (repeatable; "
+        "distributed runs only): kill:RANK:STEP kills a rank at a global "
+        "step (the run recovers elastically from --state), "
+        "timeout:STEP[:ATTEMPTS] times out the gradient flush (retried "
+        "with backoff), straggle:RANK:SECONDS[:START[:STOP]] skews a "
+        "rank's clock",
+    )
+    p.add_argument(
+        "--no-shrink",
+        action="store_true",
+        help="recover from a killed rank by replacing it (same world size, "
+        "bit-identical finish) instead of shrinking the world to the "
+        "survivors",
+    )
 
 
 def _add_md(sub: argparse._SubParsersAction) -> None:
@@ -178,15 +221,33 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _fault_plan(args: argparse.Namespace):
+    """Parse ``--inject-fault`` specs, validating their prerequisites."""
+    if not args.inject_fault:
+        return None
+    from repro.comm import FaultPlan
+
+    if args.world_size <= 1:
+        raise SystemExit("--inject-fault requires --world-size > 1")
+    if not args.state:
+        raise SystemExit("--inject-fault requires --state (recovery needs a checkpoint)")
+    try:
+        return FaultPlan.parse(args.inject_fault)
+    except ValueError as exc:
+        raise SystemExit(f"--inject-fault: {exc}")
+
+
 def _train_distributed(args: argparse.Namespace, splits, model_factory) -> object:
     """Train through the simulated data-parallel path; returns the model."""
-    from repro.train import DistributedConfig, DistributedTrainer
+    from repro.train import DistributedConfig, DistributedTrainer, run_elastic
 
     if args.batch_size % args.world_size != 0:
         raise SystemExit(
             f"--batch-size {args.batch_size} must be divisible by "
             f"--world-size {args.world_size}"
         )
+    if args.checkpoint_every < 1:
+        raise SystemExit(f"--checkpoint-every must be >= 1, got {args.checkpoint_every}")
     cfg = DistributedConfig(
         world_size=args.world_size,
         global_batch_size=args.batch_size,
@@ -197,16 +258,62 @@ def _train_distributed(args: argparse.Namespace, splits, model_factory) -> objec
         compile=args.compile,
         n_buckets=args.n_buckets,
     )
-    trainer = DistributedTrainer(model_factory, splits.train, cfg)
-    for epoch in range(args.epochs):
-        records = trainer.train_epoch()
-        loss = float(np.mean([r.loss for r in records]))
-        e_mae = float(np.mean([r.energy_mae for r in records]))
+    plan = _fault_plan(args)
+    if args.resume:
+        trainer = DistributedTrainer.resume(
+            args.resume, model_factory, splits.train, cfg, fault_plan=plan
+        )
         print(
-            f"epoch {epoch:3d} loss={loss:.4f} E={e_mae * 1e3:7.1f}meV/atom "
-            f"({len(records)} steps x {args.world_size} ranks)",
+            f"resumed from {args.resume}: epoch {trainer._epoch}, "
+            f"global step {trainer.global_step}"
+        )
+        trainer.train(
+            checkpoint_path=args.state or None,
+            checkpoint_every=args.checkpoint_every,
+        )
+    elif plan is not None:
+        result = run_elastic(
+            model_factory,
+            splits.train,
+            cfg,
+            checkpoint_path=args.state,
+            checkpoint_every=args.checkpoint_every,
+            fault_plan=plan,
+            shrink=not args.no_shrink,
+        )
+        trainer = result.trainer
+        for f in result.failures:
+            print(
+                f"rank {f.rank} failed at step {f.step}: world "
+                f"{f.world_before} -> {f.world_after}, {f.steps_lost} steps "
+                f"redone, resume {f.resume_seconds * 1e3:.1f} ms"
+            )
+        if trainer.flush_retries:
+            print(
+                f"flush retries: {trainer.flush_retries} "
+                f"(backoff {trainer.backoff_seconds * 1e3:.1f} ms)"
+            )
+    else:
+        trainer = DistributedTrainer(model_factory, splits.train, cfg)
+        trainer.train(
+            checkpoint_path=args.state or None,
+            checkpoint_every=args.checkpoint_every,
+        )
+    # trainer.steps belongs to the final trainer instance (a resumed or
+    # elastically rebuilt run only records its own steps), so summarize
+    # rather than pretending to a full per-epoch history.
+    if trainer.steps:
+        loss = float(np.mean([r.loss for r in trainer.steps[-len(trainer.loader) :]]))
+        e_mae = float(
+            np.mean([r.energy_mae for r in trainer.steps[-len(trainer.loader) :]])
+        )
+        print(
+            f"{trainer.global_step} global steps x {trainer.config.world_size} ranks, "
+            f"last-epoch loss={loss:.4f} E={e_mae * 1e3:7.1f}meV/atom",
             flush=True,
         )
+    if args.state:
+        print(f"training state checkpointed to {args.state}")
     print(f"replicas in sync: {trainer.replicas_in_sync()}")
     stats = trainer.compile_stats()
     if stats is not None:
@@ -222,6 +329,8 @@ def cmd_train(args: argparse.Namespace) -> int:
     from repro.model import CHGNet, FastCHGNet
     from repro.train import TrainConfig, Trainer, evaluate
 
+    if args.inject_fault and args.world_size <= 1:
+        raise SystemExit("--inject-fault requires --world-size > 1")
     entries = generate_mptrj(args.structures, seed=args.seed, max_atoms=args.max_atoms)
     splits = split_dataset(entries, seed=args.seed, n_workers=args.n_workers)
 
@@ -238,20 +347,30 @@ def cmd_train(args: argparse.Namespace) -> int:
     if args.world_size > 1:
         model = _train_distributed(args, splits, model_factory)
     else:
-        trainer = Trainer(
-            model,
-            splits.train,
-            val_dataset=splits.val,
-            config=TrainConfig(
-                epochs=args.epochs,
-                batch_size=args.batch_size,
-                learning_rate=args.lr,
-                scale_lr=args.scale_lr,
-                seed=args.seed,
-                compile=args.compile,
-            ),
+        if args.checkpoint_every < 1:
+            raise SystemExit(
+                f"--checkpoint-every must be >= 1, got {args.checkpoint_every}"
+            )
+        config = TrainConfig(
+            epochs=args.epochs,
+            batch_size=args.batch_size,
+            learning_rate=args.lr,
+            scale_lr=args.scale_lr,
+            seed=args.seed,
+            compile=args.compile,
         )
+        if args.resume:
+            trainer = Trainer.resume(
+                args.resume, model, splits.train, val_dataset=splits.val, config=config
+            )
+            print(f"resumed from {args.resume}: epoch {trainer._epoch}")
+        else:
+            trainer = Trainer(model, splits.train, val_dataset=splits.val, config=config)
+        if args.state:
+            trainer.add_checkpoint_hook(args.state, every=args.checkpoint_every)
         trainer.train(verbose=True)
+        if args.state:
+            print(f"training state checkpointed to {args.state}")
         if args.compile and trainer.compiler is not None:
             stats = trainer.compiler.stats
             print(

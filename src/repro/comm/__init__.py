@@ -1,6 +1,12 @@
 """Simulated multi-GPU communication: collectives, ring allreduce, cost model."""
 
 from repro.comm.communicator import SimCommunicator
+from repro.comm.faults import (
+    CollectiveTimeout,
+    FaultPlan,
+    FaultyCommunicator,
+    RankFailure,
+)
 from repro.comm.cost_model import (
     ClusterSpec,
     OverlapResult,
@@ -12,6 +18,10 @@ from repro.comm.scaling import ComputeModel, ScalingPoint, model_iteration, weak
 
 __all__ = [
     "SimCommunicator",
+    "CollectiveTimeout",
+    "FaultPlan",
+    "FaultyCommunicator",
+    "RankFailure",
     "ClusterSpec",
     "OverlapResult",
     "ring_allreduce_time",

@@ -12,18 +12,34 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.comm.ring import RingTrace, ring_allreduce
+
 
 class SimCommunicator:
     """MPI-like collectives across ``world_size`` simulated ranks.
 
     All per-rank buffers are passed together (rank-major lists), since the
     ranks share one process.
+
+    ``trace_ring=True`` routes :meth:`allreduce_mean_inplace` — the
+    trainer's packed per-bucket gradient-flush collective — through the
+    explicit ring algorithm of :func:`repro.comm.ring.ring_allreduce` and
+    accumulates each collective's :class:`~repro.comm.ring.RingTrace` in
+    ``ring_traces``.  The traced per-rank byte volumes are what the
+    alpha-beta cost model assumes (``2 (p-1)/p * n`` elements per rank), so
+    modeled overlap/scaling numbers can be checked against the messages the
+    flush actually sent.  Ring summation visits addends in ring order, so
+    traced averages are *not* bit-identical to the default pairwise path —
+    but all ranks still receive identical results, which is the invariant
+    the trainer relies on.
     """
 
-    def __init__(self, world_size: int) -> None:
+    def __init__(self, world_size: int, trace_ring: bool = False) -> None:
         if world_size < 1:
             raise ValueError(f"world size must be >= 1, got {world_size}")
         self.world_size = world_size
+        self.trace_ring = bool(trace_ring)
+        self.ring_traces: list[RingTrace] = []
 
     def _check(self, per_rank: list) -> None:
         if len(per_rank) != self.world_size:
@@ -57,12 +73,22 @@ class SimCommunicator:
         stage the stacked operands, row ``world`` receives the mean — that
         callers keep and pass back on every step (the gradient-flush hot
         path).  Returns the scratch block for reuse.
+
+        With ``trace_ring`` the reduction instead runs the explicit ring
+        algorithm and records its transfer trace (see the class docstring);
+        the scratch block is passed through untouched.
         """
         self._check(per_rank)
         shape, dtype = per_rank[0].shape, per_rank[0].dtype
         for arr in per_rank:
             if arr.shape != shape:
                 raise ValueError("ranks disagree on buffer shape")
+        if self.trace_ring:
+            outs, trace = ring_allreduce(per_rank, average=True)
+            self.ring_traces.append(trace)
+            for arr, out in zip(per_rank, outs):
+                np.copyto(arr, out)
+            return work
         if work is None or work.shape != (self.world_size + 1, *shape) or work.dtype != dtype:
             work = np.empty((self.world_size + 1, *shape), dtype=dtype)
         for r, arr in enumerate(per_rank):

@@ -1,0 +1,284 @@
+"""Deterministic fault injection at the communication layer.
+
+Real multi-GPU runs at the paper's scale lose ranks, hit slow NICs, and see
+collectives time out; the simulated cluster should be able to *rehearse*
+those failures deterministically.  :class:`FaultPlan` is a declarative,
+seeded schedule of faults — rank kills, per-rank virtual-clock skew
+(stragglers), and collective timeouts — and :class:`FaultyCommunicator`
+wraps :class:`~repro.comm.communicator.SimCommunicator` so that every
+collective passes through the plan before touching data.  Faults surface as
+typed errors (:class:`RankFailure`, :class:`CollectiveTimeout`) instead of
+silently corrupting averages; the trainer's recovery machinery
+(checkpoint-resume, elastic re-sharding, bounded flush retries) is tested
+against exactly these errors.
+
+The plan is *consumed* as it fires: a kill scheduled for step ``k`` fires
+once and never again, so a run that resumes from a checkpoint and replays
+step ``k`` does not die a second time.  Use a fresh plan per run.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class RankFailure(RuntimeError):
+    """A simulated rank died; the collective cannot complete.
+
+    Carries the failed ``rank`` and the global ``step`` the failure
+    surfaced at — the elastic driver uses both to shrink the world and
+    price the recovery.
+    """
+
+    def __init__(self, rank: int, step: int) -> None:
+        super().__init__(f"rank {rank} failed at step {step}")
+        self.rank = rank
+        self.step = step
+
+
+class CollectiveTimeout(RuntimeError):
+    """A collective exceeded its (virtual) timeout and was aborted.
+
+    Transient by construction: retrying the collective consumes the step's
+    injected-timeout budget, so a bounded retry loop recovers unless the
+    plan schedules more timeouts than the retry budget allows.
+    """
+
+    def __init__(self, step: int, attempt: int) -> None:
+        super().__init__(f"collective timed out at step {step} (attempt {attempt})")
+        self.step = step
+        self.attempt = attempt
+
+
+class FaultPlan:
+    """Declarative schedule of comm-layer faults, keyed by global step.
+
+    Build with the chainable methods::
+
+        plan = FaultPlan().kill(rank=1, step=7).straggle(rank=0, seconds=2e-3)
+        plan = FaultPlan().timeout(step=3, attempts=2)
+
+    or parse CLI specs (:meth:`parse`) / draw a seeded random plan
+    (:meth:`random`).  Kills are consumed when they fire (see the module
+    docstring); skews and timeout budgets are pure functions of the step.
+    """
+
+    def __init__(self) -> None:
+        self._kills: dict[int, list[int]] = {}
+        self._timeouts: dict[int, int] = {}
+        self._skews: list[tuple[int, float, int, int | None]] = []
+
+    # -------------------------------------------------------------- builders
+    def kill(self, rank: int, step: int) -> "FaultPlan":
+        """Schedule ``rank`` to die at global step ``step`` (fires once)."""
+        if rank < 0:
+            raise ValueError(f"rank must be >= 0, got {rank}")
+        if step < 0:
+            raise ValueError(f"step must be >= 0, got {step}")
+        self._kills.setdefault(step, []).append(rank)
+        return self
+
+    def timeout(self, step: int, attempts: int = 1) -> "FaultPlan":
+        """Time out the first ``attempts`` collectives of step ``step``."""
+        if step < 0:
+            raise ValueError(f"step must be >= 0, got {step}")
+        if attempts < 1:
+            raise ValueError(f"attempts must be >= 1, got {attempts}")
+        self._timeouts[step] = self._timeouts.get(step, 0) + attempts
+        return self
+
+    def straggle(
+        self,
+        rank: int,
+        seconds: float,
+        start: int = 0,
+        stop: int | None = None,
+    ) -> "FaultPlan":
+        """Add ``seconds`` of virtual compute skew to ``rank`` each step.
+
+        Active for steps in ``[start, stop)``; ``stop=None`` means forever.
+        Overlapping windows accumulate.
+        """
+        if rank < 0:
+            raise ValueError(f"rank must be >= 0, got {rank}")
+        if seconds < 0:
+            raise ValueError(f"straggler seconds must be >= 0, got {seconds}")
+        if start < 0 or (stop is not None and stop <= start):
+            raise ValueError(f"bad straggler window [{start}, {stop})")
+        self._skews.append((rank, float(seconds), start, stop))
+        return self
+
+    # --------------------------------------------------------------- queries
+    @property
+    def empty(self) -> bool:
+        """Whether no faults remain scheduled (kills may have been consumed)."""
+        return not (self._kills or self._timeouts or self._skews)
+
+    def take_kills(self, step: int) -> list[int]:
+        """Ranks scheduled to die at ``step``; consumed (fires once per run)."""
+        return self._kills.pop(step, [])
+
+    def timeout_budget(self, step: int) -> int:
+        """Number of collectives to time out at ``step``."""
+        return self._timeouts.get(step, 0)
+
+    def skew(self, rank: int, step: int) -> float:
+        """Total virtual straggler seconds for ``rank`` at ``step``."""
+        return sum(
+            seconds
+            for r, seconds, start, stop in self._skews
+            if r == rank and start <= step and (stop is None or step < stop)
+        )
+
+    # ---------------------------------------------------------- constructors
+    @classmethod
+    def parse(cls, specs: list[str]) -> "FaultPlan":
+        """Build a plan from CLI specs (``train --inject-fault``).
+
+        Accepted forms::
+
+            kill:RANK:STEP
+            timeout:STEP[:ATTEMPTS]
+            straggle:RANK:SECONDS[:START[:STOP]]
+        """
+        plan = cls()
+        for spec in specs:
+            parts = spec.split(":")
+            kind = parts[0]
+            try:
+                if kind == "kill" and len(parts) == 3:
+                    plan.kill(rank=int(parts[1]), step=int(parts[2]))
+                elif kind == "timeout" and len(parts) in (2, 3):
+                    attempts = int(parts[2]) if len(parts) == 3 else 1
+                    plan.timeout(step=int(parts[1]), attempts=attempts)
+                elif kind == "straggle" and len(parts) in (3, 4, 5):
+                    start = int(parts[3]) if len(parts) >= 4 else 0
+                    stop = int(parts[4]) if len(parts) == 5 else None
+                    plan.straggle(
+                        rank=int(parts[1]), seconds=float(parts[2]), start=start, stop=stop
+                    )
+                else:
+                    raise ValueError("unrecognized form")
+            except ValueError as exc:
+                raise ValueError(
+                    f"bad fault spec {spec!r} ({exc}); expected kill:RANK:STEP, "
+                    "timeout:STEP[:ATTEMPTS], or straggle:RANK:SECONDS[:START[:STOP]]"
+                ) from exc
+        return plan
+
+    @classmethod
+    def random(
+        cls,
+        seed: int,
+        world_size: int,
+        n_steps: int,
+        p_kill: float = 0.0,
+        p_timeout: float = 0.0,
+        straggler_seconds: float = 0.0,
+    ) -> "FaultPlan":
+        """Seeded random plan over ``n_steps`` (same seed, same plan).
+
+        Each step independently schedules a kill of a uniform-random rank
+        with probability ``p_kill`` and a single-collective timeout with
+        probability ``p_timeout``; ``straggler_seconds > 0`` additionally
+        skews one random rank for the whole run.
+        """
+        if world_size < 1:
+            raise ValueError(f"world_size must be >= 1, got {world_size}")
+        rng = np.random.default_rng(seed)
+        plan = cls()
+        for step in range(n_steps):
+            if p_kill and rng.random() < p_kill:
+                plan.kill(rank=int(rng.integers(world_size)), step=step)
+            if p_timeout and rng.random() < p_timeout:
+                plan.timeout(step=step)
+        if straggler_seconds > 0:
+            plan.straggle(rank=int(rng.integers(world_size)), seconds=straggler_seconds)
+        return plan
+
+
+class FaultyCommunicator:
+    """A :class:`~repro.comm.communicator.SimCommunicator` under a fault plan.
+
+    Wraps the simulated communicator (full attribute delegation, so it is a
+    drop-in replacement) and makes every collective first consult the plan
+    for the current step (set by the trainer through :meth:`advance`):
+
+    * scheduled **kills** mark the rank dead and raise :class:`RankFailure`
+      — and keep raising it on every later collective, as a real job's
+      collectives would keep failing until the world is rebuilt;
+    * scheduled **timeouts** raise :class:`CollectiveTimeout` once per
+      budgeted attempt, so a caller's bounded retry drains the budget and
+      the retried collective completes;
+    * **stragglers** never fail anything — :meth:`compute_skew` reports the
+      per-rank virtual seconds the trainer adds to its measured compute
+      times, so modeled throughput prices the slow rank honestly.
+    """
+
+    def __init__(self, world_size: int, plan: FaultPlan, trace_ring: bool = False) -> None:
+        # Imported here to keep module import order obvious (communicator
+        # does not know about faults).
+        from repro.comm.communicator import SimCommunicator
+
+        self._base = SimCommunicator(world_size, trace_ring=trace_ring)
+        self.plan = plan
+        self.step = 0
+        self.dead: set[int] = set()
+        self.timeouts_injected = 0
+        self._timeout_used: dict[int, int] = {}
+
+    # Delegation keeps FaultyCommunicator drop-in for SimCommunicator users.
+    def __getattr__(self, name: str):
+        return getattr(self._base, name)
+
+    def advance(self, step: int) -> None:
+        """Set the global step the next collectives belong to."""
+        self.step = int(step)
+
+    def compute_skew(self, rank: int) -> float:
+        """Virtual straggler seconds for ``rank`` at the current step."""
+        return self.plan.skew(rank, self.step)
+
+    def _inject(self) -> None:
+        for rank in self.plan.take_kills(self.step):
+            if 0 <= rank < self.world_size:
+                self.dead.add(rank)
+        if self.dead:
+            raise RankFailure(min(self.dead), self.step)
+        budget = self.plan.timeout_budget(self.step)
+        used = self._timeout_used.get(self.step, 0)
+        if used < budget:
+            self._timeout_used[self.step] = used + 1
+            self.timeouts_injected += 1
+            raise CollectiveTimeout(self.step, used + 1)
+
+    # ------------------------------------------------------------ collectives
+    def allreduce_sum(self, per_rank):
+        """Faulting wrapper over :meth:`SimCommunicator.allreduce_sum`."""
+        self._inject()
+        return self._base.allreduce_sum(per_rank)
+
+    def allreduce_mean(self, per_rank):
+        """Faulting wrapper over :meth:`SimCommunicator.allreduce_mean`."""
+        self._inject()
+        return self._base.allreduce_mean(per_rank)
+
+    def allreduce_mean_inplace(self, per_rank, work=None):
+        """Faulting wrapper over :meth:`SimCommunicator.allreduce_mean_inplace`."""
+        self._inject()
+        return self._base.allreduce_mean_inplace(per_rank, work)
+
+    def allreduce_mean_lists(self, per_rank):
+        """Faulting wrapper over :meth:`SimCommunicator.allreduce_mean_lists`."""
+        self._inject()
+        return self._base.allreduce_mean_lists(per_rank)
+
+    def broadcast(self, value, root: int = 0):
+        """Faulting wrapper over :meth:`SimCommunicator.broadcast`."""
+        self._inject()
+        return self._base.broadcast(value, root)
+
+    def gather(self, per_rank, root: int = 0):
+        """Faulting wrapper over :meth:`SimCommunicator.gather`."""
+        self._inject()
+        return self._base.gather(per_rank, root)

@@ -35,10 +35,18 @@ def ring_allreduce(per_rank: list[np.ndarray], average: bool = False) -> tuple[l
     p = len(per_rank)
     if p == 0:
         raise ValueError("ring allreduce needs at least one rank")
-    shape = per_rank[0].shape
-    for buf in per_rank:
+    shape, dtype = per_rank[0].shape, per_rank[0].dtype
+    for r, buf in enumerate(per_rank):
         if buf.shape != shape:
-            raise ValueError("all ranks must contribute identically shaped buffers")
+            raise ValueError(
+                f"all ranks must contribute identically shaped buffers: "
+                f"rank {r} has {buf.shape}, rank 0 has {shape}"
+            )
+        if buf.dtype != dtype:
+            raise ValueError(
+                f"all ranks must contribute identically typed buffers: "
+                f"rank {r} has dtype {buf.dtype}, rank 0 has {dtype}"
+            )
     if p == 1:
         out = per_rank[0].copy()
         return [out], RingTrace(steps=0, bytes_per_rank=0)

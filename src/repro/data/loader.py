@@ -135,6 +135,21 @@ class DataLoader:
         # gets a fresh shuffle order next time.
         epoch = self.epoch
         self.epoch += 1
+        return self._iter_at(epoch)
+
+    def iter_epoch(self, epoch: int) -> Iterator[GraphBatch]:
+        """Iterate a *specific* epoch's batches (checkpoint-resume support).
+
+        Every shuffle is a pure function of ``(seed, epoch)``, so replaying
+        an epoch needs no saved RNG state — just its number.  The
+        auto-advancing counter is re-anchored to continue past ``epoch``.
+        """
+        if epoch < 0:
+            raise ValueError(f"epoch must be >= 0, got {epoch}")
+        self.epoch = epoch + 1
+        return self._iter_at(epoch)
+
+    def _iter_at(self, epoch: int) -> Iterator[GraphBatch]:
         source = self._batches(epoch)
         if self.prefetch:
             source = iter(PrefetchQueue(source, depth=1))
@@ -190,6 +205,18 @@ class ShardedLoader:
         # DataLoader.__iter__).
         epoch = self.epoch
         self.epoch += 1
+        return self._steps(epoch)
+
+    def iter_epoch(self, epoch: int) -> Iterator[list[GraphBatch]]:
+        """Iterate a *specific* epoch's steps (checkpoint-resume support).
+
+        Shard order is a pure function of ``(seed, epoch)``, so a resumed
+        run re-enters an interrupted epoch by number and skips the steps it
+        already completed.  Re-anchors the auto-advance counter.
+        """
+        if epoch < 0:
+            raise ValueError(f"epoch must be >= 0, got {epoch}")
+        self.epoch = epoch + 1
         return self._steps(epoch)
 
     def _steps(self, epoch: int) -> Iterator[list[GraphBatch]]:

@@ -1,6 +1,8 @@
 """High-throughput inference serving for trained potentials."""
 
 from repro.serve.engine import (
+    EngineClosed,
+    EngineOverloaded,
     EngineStats,
     InferenceEngine,
     Prediction,
@@ -8,6 +10,8 @@ from repro.serve.engine import (
 )
 
 __all__ = [
+    "EngineClosed",
+    "EngineOverloaded",
     "EngineStats",
     "InferenceEngine",
     "Prediction",

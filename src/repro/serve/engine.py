@@ -112,6 +112,18 @@ def percentile(values, q: float) -> float:
     return float(np.percentile(np.fromiter(values, dtype=np.float64), q))
 
 
+class EngineClosed(RuntimeError):
+    """Raised when work is submitted to an engine after :meth:`shutdown`."""
+
+
+class EngineOverloaded(RuntimeError):
+    """Raised when a bounded engine sheds a request (``max_pending`` reached).
+
+    The request is **not** enqueued; the caller owns retry policy.  Every
+    shed is counted in :attr:`EngineStats.load_shed`.
+    """
+
+
 #: Sliding window of per-request latencies kept for p50/p95 reporting; a
 #: long-lived engine (an MD calculator's persistent engine, a day-long
 #: request loop) must not grow its stats with lifetime request count.
@@ -150,6 +162,8 @@ class EngineStats:
     merged_batches: int = 0
     collate_hits: int = 0
     collate_misses: int = 0
+    #: requests rejected because the pending queue was at ``max_pending``
+    load_shed: int = 0
     #: summed raw workload cost of all dispatched structures
     raw_cost: int = 0
     #: summed priced workload cost of the padded batches serving them
@@ -187,6 +201,7 @@ class EngineStats:
             "merged_batches": self.merged_batches,
             "collate_hits": self.collate_hits,
             "collate_misses": self.collate_misses,
+            "load_shed": self.load_shed,
             "padding_overhead": self.padding_overhead,
             "latency_p50": percentile(self.latencies, 50),
             "latency_p95": percentile(self.latencies, 95),
@@ -247,6 +262,12 @@ class InferenceEngine:
         Soft cap on retained weight versions: publishing prunes the oldest
         versions not pinned by queued requests, not installed on a worker
         and not current (in-flight pins are never evicted).
+    max_pending:
+        Bound on the pending-request queue (``0`` = unbounded).  A submit
+        that would exceed it is **shed**: the request is rejected with
+        :class:`EngineOverloaded`, counted in ``stats.load_shed``, and the
+        engine keeps serving — honest backpressure instead of an unbounded
+        queue hiding an overload.
     """
 
     def __init__(
@@ -261,6 +282,7 @@ class InferenceEngine:
         merge_overhead_cap: float = 0.5,
         memoize: int = 0,
         max_versions: int = 4,
+        max_pending: int = 0,
     ) -> None:
         if n_workers < 1:
             raise ValueError(f"n_workers must be >= 1, got {n_workers}")
@@ -276,6 +298,8 @@ class InferenceEngine:
             raise ValueError(f"memoize must be non-negative, got {memoize}")
         if max_versions < 1:
             raise ValueError(f"max_versions must be >= 1, got {max_versions}")
+        if max_pending < 0:
+            raise ValueError(f"max_pending must be non-negative, got {max_pending}")
         self.model = model
         self.config = model.config
         self.n_workers = n_workers
@@ -285,6 +309,8 @@ class InferenceEngine:
         self.merge_overhead_cap = float(merge_overhead_cap)
         self.memoize = int(memoize)
         self.max_versions = max_versions
+        self.max_pending = int(max_pending)
+        self._closed = False
         self.workers: list[CHGNetModel] = [
             CHGNetModel(model.config, np.random.default_rng(w))
             for w in range(n_workers)
@@ -400,7 +426,22 @@ class InferenceEngine:
         self._worker_version[worker] = version
 
     # ------------------------------------------------------------- submission
+    @staticmethod
+    def _validate_item(item: Crystal | CrystalGraph) -> None:
+        """Reject poisoned inputs before they reach a batch.
+
+        A NaN/inf coordinate would propagate through every structure
+        collated alongside it; failing the one bad request here keeps the
+        engine (and its neighbours in the batch) healthy.
+        """
+        if isinstance(item, Crystal):
+            if not np.all(np.isfinite(item.lattice.matrix)):
+                raise ValueError("crystal lattice contains non-finite values")
+            if not np.all(np.isfinite(item.frac_coords)):
+                raise ValueError("crystal coordinates contain non-finite values")
+
     def _graph_of(self, item: Crystal | CrystalGraph) -> CrystalGraph:
+        self._validate_item(item)
         if isinstance(item, CrystalGraph):
             return item
         if self.memoize:
@@ -428,7 +469,20 @@ class InferenceEngine:
         published while it waits.  Full tier queues flush immediately;
         partial queues wait for more same-tier work until ``max_wait``
         passes on the ``now`` clock.
+
+        Raises :class:`EngineClosed` after :meth:`shutdown`,
+        :class:`EngineOverloaded` when a bounded queue is full (the shed is
+        counted, nothing is enqueued), and ``ValueError`` for structures
+        with non-finite coordinates (one poisoned request fails without
+        touching anything already queued).
         """
+        if self._closed:
+            raise EngineClosed("engine is shut down; submit rejected")
+        if self.max_pending and self.pending >= self.max_pending:
+            self.stats.load_shed += 1
+            raise EngineOverloaded(
+                f"pending queue full ({self.pending}/{self.max_pending}); request shed"
+            )
         now = self._advance(now)
         if version is None:
             version = self.current_version
@@ -476,6 +530,25 @@ class InferenceEngine:
             self._drain(key, now, merge, lambda queue: True)
             for key in sorted(self._queues)
         )
+
+    def shutdown(self, flush: bool = True) -> int:
+        """Stop accepting work; idempotent.  Returns batches dispatched.
+
+        ``flush=True`` (default) drains everything still queued so no
+        accepted request is lost; finished results stay pollable after
+        shutdown.  Further :meth:`submit`/:meth:`predict_many` calls raise
+        :class:`EngineClosed`.
+        """
+        if self._closed:
+            return 0
+        dispatched = self.flush() if flush else 0
+        self._closed = True
+        return dispatched
+
+    @property
+    def closed(self) -> bool:
+        """Whether :meth:`shutdown` has been called."""
+        return self._closed
 
     @property
     def pending(self) -> int:
@@ -583,6 +656,8 @@ class InferenceEngine:
         partial batches), so the call is deterministic and leaves nothing
         queued.
         """
+        if self._closed:
+            raise EngineClosed("engine is shut down; predict_many rejected")
         graphs = [self._graph_of(item) for item in items]
         if self.compilers is not None:
             self._warm_start(graphs)

@@ -8,6 +8,7 @@ toggles.
 
 from __future__ import annotations
 
+import zipfile
 from typing import Callable, Iterable, Iterator
 
 import numpy as np
@@ -72,9 +73,10 @@ class Module:
         float64 copies of its arrays in :meth:`parameters` order.
 
         Raises ``KeyError`` on missing/unexpected names and ``ValueError``
-        on shape mismatches.  Shared by :meth:`load_state_dict` and the
-        serving engine's version registry (which stores the aligned arrays
-        instead of loading them into a module).
+        on shape or dtype mismatches, always naming the offending entry.
+        Shared by :meth:`load_state_dict` and the serving engine's version
+        registry (which stores the aligned arrays instead of loading them
+        into a module).
         """
         own = dict(self.named_parameters())
         missing = set(own) - set(state)
@@ -83,10 +85,18 @@ class Module:
             raise KeyError(f"state dict mismatch: missing={sorted(missing)} unexpected={sorted(unexpected)}")
         arrays = []
         for name, p in own.items():
-            arr = np.asarray(state[name], dtype=np.float64)
+            raw = np.asarray(state[name])
+            if raw.dtype.kind not in "fiu":
+                raise ValueError(
+                    f"dtype mismatch for {name!r}: got {raw.dtype}, "
+                    "expected a floating or integer dtype"
+                )
+            arr = raw.astype(np.float64)
             if arr.shape != p.shape:
-                raise ValueError(f"shape mismatch for {name}: {arr.shape} vs {p.shape}")
-            arrays.append(arr.copy())
+                raise ValueError(
+                    f"shape mismatch for {name!r}: got {arr.shape}, expected {p.shape}"
+                )
+            arrays.append(arr)
         return arrays
 
     def load_state_dict(self, state: dict[str, np.ndarray]) -> None:
@@ -99,9 +109,18 @@ class Module:
         np.savez(path, **self.state_dict())
 
     def load(self, path: str) -> None:
-        """Load parameters from an ``.npz`` checkpoint."""
-        with np.load(path) as data:
-            self.load_state_dict({k: data[k] for k in data.files})
+        """Load parameters from an ``.npz`` checkpoint.
+
+        Unreadable files (missing, truncated, or not an npz archive) raise
+        ``ValueError`` naming the path, so callers see one exception type
+        for every corrupt-checkpoint failure.
+        """
+        try:
+            with np.load(path, allow_pickle=False) as data:
+                state = {k: data[k] for k in data.files}
+        except (OSError, ValueError, zipfile.BadZipFile) as exc:
+            raise ValueError(f"cannot read checkpoint {path!r}: {exc}") from exc
+        self.load_state_dict(state)
 
     def zero_grad(self) -> None:
         """Clear accumulated gradients on every parameter."""

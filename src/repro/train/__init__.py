@@ -1,10 +1,23 @@
-"""Training harness: loss, optimizers, schedules, trainers, metrics."""
+"""Training harness: loss, optimizers, schedules, trainers, metrics.
 
+Fault tolerance lives here too: CRC-validated atomic checkpoints
+(:mod:`repro.train.checkpoint`), mid-epoch resume on the distributed
+trainer, and the elastic kill-shrink-resume driver
+(:mod:`repro.train.elastic`).
+"""
+
+from repro.train.checkpoint import CheckpointError, load_checkpoint, save_checkpoint
 from repro.train.distributed import (
     DistributedConfig,
     DistributedTrainer,
     GradientBuckets,
     StepStats,
+)
+from repro.train.elastic import (
+    ElasticResult,
+    FailureEvent,
+    largest_feasible_world,
+    run_elastic,
 )
 from repro.train.loss import CompositeLoss, LossBreakdown, LossWeights
 from repro.train.metrics import EvalResult, ParityData, evaluate, mae, r_squared
@@ -19,10 +32,17 @@ from repro.train.schedule import (
 from repro.train.trainer import EpochRecord, ServingTrainer, TrainConfig, Trainer
 
 __all__ = [
+    "CheckpointError",
+    "load_checkpoint",
+    "save_checkpoint",
     "DistributedConfig",
     "DistributedTrainer",
     "GradientBuckets",
     "StepStats",
+    "ElasticResult",
+    "FailureEvent",
+    "largest_feasible_world",
+    "run_elastic",
     "CompositeLoss",
     "LossBreakdown",
     "LossWeights",

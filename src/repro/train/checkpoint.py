@@ -1,0 +1,100 @@
+"""Versioned, CRC-validated training checkpoints with atomic write-rename.
+
+The resume contract of the fault-tolerant trainers (mid-epoch bit-identical
+continuation, see :mod:`repro.train.elastic`) only holds if a checkpoint can
+never be half-written or silently corrupted.  The on-disk format is
+
+.. code-block:: text
+
+    offset  size  field
+    0       6     magic  b"RCKPT1"  (format version baked into the magic)
+    6       4     crc32 of the payload (little-endian uint32)
+    10      8     payload length in bytes (little-endian uint64)
+    18      ...   payload: one .npz archive (arrays + "__meta__" JSON)
+
+Writes go to a temporary sibling file, are fsynced, and land with
+``os.replace`` — a crash leaves either the old checkpoint or the new one,
+never a torn file.  Loads verify magic, length (truncation), and CRC
+(corruption) before NumPy ever parses the payload, and raise
+:class:`CheckpointError` with a reason on any mismatch.
+
+Payloads are split into ``arrays`` (flat ``name -> ndarray``; saved
+losslessly, float64 bits round-trip exactly) and ``meta`` (a JSON-encodable
+dict of scalars/progress; Python's JSON float encoding is shortest-repr and
+round-trips bit-exactly).  The trainers put model weights and Adam moments
+in ``arrays`` and scalar optimizer/schedule/progress state in ``meta``.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import os
+import struct
+import zlib
+
+import numpy as np
+
+MAGIC = b"RCKPT1"
+_HEADER = struct.Struct("<IQ")  # crc32, payload length
+
+
+class CheckpointError(ValueError):
+    """A checkpoint file is missing, truncated, corrupted, or incompatible."""
+
+
+def save_checkpoint(path: str, arrays: dict[str, np.ndarray], meta: dict) -> None:
+    """Atomically write ``arrays`` + ``meta`` as a validated checkpoint.
+
+    ``arrays`` keys must not collide with the reserved ``__meta__`` entry;
+    ``meta`` must be JSON-encodable.  The write is tmp-file + fsync +
+    ``os.replace``, so a concurrent crash never leaves a torn checkpoint.
+    """
+    if "__meta__" in arrays:
+        raise ValueError("array key '__meta__' is reserved")
+    buf = io.BytesIO()
+    np.savez(buf, __meta__=np.frombuffer(json.dumps(meta).encode(), dtype=np.uint8), **arrays)
+    payload = buf.getvalue()
+    header = MAGIC + _HEADER.pack(zlib.crc32(payload) & 0xFFFFFFFF, len(payload))
+    tmp = f"{path}.tmp.{os.getpid()}"
+    with open(tmp, "wb") as fh:
+        fh.write(header)
+        fh.write(payload)
+        fh.flush()
+        os.fsync(fh.fileno())
+    os.replace(tmp, path)
+
+
+def load_checkpoint(path: str) -> tuple[dict[str, np.ndarray], dict]:
+    """Read and validate a checkpoint; returns ``(arrays, meta)``.
+
+    Raises :class:`CheckpointError` when the file is unreadable, carries the
+    wrong magic, is shorter than its recorded payload length (truncation),
+    or fails the CRC (corruption) — the failure modes a resuming job must
+    reject loudly instead of training on garbage.
+    """
+    try:
+        with open(path, "rb") as fh:
+            blob = fh.read()
+    except OSError as exc:
+        raise CheckpointError(f"cannot read checkpoint {path!r}: {exc}") from exc
+    head_len = len(MAGIC) + _HEADER.size
+    if len(blob) < head_len or not blob.startswith(MAGIC):
+        raise CheckpointError(
+            f"{path!r} is not a training checkpoint (bad magic/header)"
+        )
+    crc, length = _HEADER.unpack(blob[len(MAGIC) : head_len])
+    payload = blob[head_len:]
+    if len(payload) != length:
+        raise CheckpointError(
+            f"{path!r} is truncated: payload {len(payload)} bytes, expected {length}"
+        )
+    if zlib.crc32(payload) & 0xFFFFFFFF != crc:
+        raise CheckpointError(f"{path!r} failed CRC validation (corrupted payload)")
+    try:
+        with np.load(io.BytesIO(payload), allow_pickle=False) as data:
+            arrays = {k: data[k] for k in data.files if k != "__meta__"}
+            meta = json.loads(bytes(data["__meta__"]).decode())
+    except Exception as exc:  # malformed npz despite a passing CRC
+        raise CheckpointError(f"{path!r} payload is not a valid archive: {exc}") from exc
+    return arrays, meta

@@ -45,14 +45,19 @@ import numpy as np
 
 from repro.comm.communicator import SimCommunicator
 from repro.comm.cost_model import ClusterSpec, OverlapResult, simulate_overlap
+from repro.comm.faults import CollectiveTimeout, FaultPlan, FaultyCommunicator
 from repro.data.dataset import StructureDataset
 from repro.data.loader import ShardedLoader
 from repro.data.samplers import BucketBatchSampler, DefaultSampler, LoadBalanceSampler
 from repro.graph.batching import GraphBatch
 from repro.model.chgnet import CHGNetModel
+from repro.train.checkpoint import CheckpointError, load_checkpoint, save_checkpoint
 from repro.train.loss import CompositeLoss, LossWeights
 from repro.train.optimizer import Adam
 from repro.train.schedule import CosineAnnealingLR, scaled_learning_rate
+
+#: Format tag of the distributed training-state checkpoint payload.
+CHECKPOINT_KIND = "distributed-v1"
 
 
 @dataclass
@@ -83,7 +88,18 @@ class DistributedConfig:
       cost / ``world_size``);
     * ``flatten_buckets`` — pack each gradient bucket into one contiguous
       scratch message per rank and run a single in-place mean-allreduce per
-      bucket instead of one per parameter (bit-identical averages).
+      bucket instead of one per parameter (bit-identical averages);
+    * ``trace_ring`` — route the packed per-bucket flush messages through
+      the explicit ring allreduce and record per-collective transfer
+      traces (see :class:`repro.comm.communicator.SimCommunicator`), so
+      the modeled per-bucket bytes can be checked against actual traced
+      messages;
+    * ``max_flush_retries`` / ``flush_backoff`` — bounded retry around
+      each flush collective when a fault plan injects
+      :class:`~repro.comm.faults.CollectiveTimeout`: up to
+      ``max_flush_retries`` retries per collective with exponential
+      *virtual* backoff (``flush_backoff * 2**attempt`` seconds,
+      accumulated in ``backoff_seconds`` for honest pricing, never slept).
     """
 
     world_size: int = 4
@@ -103,6 +119,9 @@ class DistributedConfig:
     validate_replay: bool = False
     share_programs: bool = True
     flatten_buckets: bool = True
+    trace_ring: bool = False
+    max_flush_retries: int = 2
+    flush_backoff: float = 1e-3
 
     def resolve_lr(self) -> float:
         if self.learning_rate is not None:
@@ -214,6 +233,7 @@ class DistributedTrainer:
         model_factory: Callable[[], CHGNetModel],
         train_dataset: StructureDataset,
         config: DistributedConfig | None = None,
+        fault_plan: FaultPlan | None = None,
     ) -> None:
         self.config = config or DistributedConfig()
         cfg = self.config
@@ -222,7 +242,12 @@ class DistributedTrainer:
         state = self.replicas[0].state_dict()
         for rep in self.replicas[1:]:
             rep.load_state_dict(state)
-        self.comm = SimCommunicator(cfg.world_size)
+        if fault_plan is not None:
+            self.comm: SimCommunicator | FaultyCommunicator = FaultyCommunicator(
+                cfg.world_size, fault_plan, trace_ring=cfg.trace_ring
+            )
+        else:
+            self.comm = SimCommunicator(cfg.world_size, trace_ring=cfg.trace_ring)
         self.loss_fn = CompositeLoss(cfg.loss_weights, cfg.huber_delta)
         lr = cfg.resolve_lr()
         self._params = [rep.parameters() for rep in self.replicas]
@@ -282,6 +307,17 @@ class DistributedTrainer:
             CosineAnnealingLR(opt, total_steps, eta_min=0.01 * lr) for opt in self.optimizers
         ]
         self.steps: list[StepStats] = []
+        # Progress cursor: global step across the whole run plus the
+        # (epoch, step-in-epoch) position the resume path restarts from.
+        # All shuffling is derived from (seed, epoch), so this cursor *is*
+        # the complete RNG state of the data order.
+        self.global_step = 0
+        self._epoch = 0
+        self._step_in_epoch = 0
+        # Straggler-mitigation accounting: collectives retried after an
+        # injected timeout, and the virtual backoff seconds they cost.
+        self.flush_retries = 0
+        self.backoff_seconds = 0.0
         # Built on the first step, once gradients reveal the trainable set.
         self._trainable: list[bool] | None = None
         self._buckets: GradientBuckets | None = None
@@ -296,6 +332,9 @@ class DistributedTrainer:
         cfg = self.config
         if len(shards) != cfg.world_size:
             raise ValueError(f"{len(shards)} shards for {cfg.world_size} ranks")
+        advance = getattr(self.comm, "advance", None)
+        if advance is not None:
+            advance(self.global_step)
         compute_times = np.zeros(cfg.world_size)
         losses = np.zeros(cfg.world_size)
         e_maes = np.zeros(cfg.world_size)
@@ -313,11 +352,19 @@ class DistributedTrainer:
             losses[rank] = float(breakdown.loss.data)
             e_maes[rank] = breakdown.energy_mae
             f_maes[rank] = breakdown.force_mae
+        skew_fn = getattr(self.comm, "compute_skew", None)
+        if skew_fn is not None:
+            # Straggler injection: the slow rank's virtual clock runs behind,
+            # so modeled (max-rank) step time prices the straggler honestly.
+            for rank in range(cfg.world_size):
+                compute_times[rank] += skew_fn(rank)
 
         self._flush_gradients()
         for opt, sched in zip(self.optimizers, self.schedulers):
             opt.step()
             sched.step()
+        self.global_step += 1
+        self._step_in_epoch += 1
 
         stats = StepStats(
             loss=float(losses.mean()),
@@ -330,6 +377,28 @@ class DistributedTrainer:
         return stats
 
     # ------------------------------------------------------------ grad flush
+    def _allreduce(self, bufs: list[np.ndarray], work: np.ndarray | None) -> np.ndarray:
+        """One flush collective with bounded retry on injected timeouts.
+
+        :class:`~repro.comm.faults.CollectiveTimeout` fires *before* any
+        buffer is touched, so a retry simply reissues the collective.  Each
+        retry accrues exponential virtual backoff (``flush_backoff *
+        2**attempt`` seconds) into ``backoff_seconds`` — priced, never
+        slept.  The timeout is re-raised once ``max_flush_retries`` is
+        exhausted; :class:`~repro.comm.faults.RankFailure` is never retried
+        (a dead rank needs the elastic recovery path, not a retry).
+        """
+        attempts = 0
+        while True:
+            try:
+                return self.comm.allreduce_mean_inplace(bufs, work)
+            except CollectiveTimeout:
+                if attempts >= self.config.max_flush_retries:
+                    raise
+                self.flush_retries += 1
+                self.backoff_seconds += self.config.flush_backoff * (2.0**attempts)
+                attempts += 1
+
     def _flush_gradients(self) -> None:
         """Bucketed mean-allreduce of the just-written gradients, in place.
 
@@ -364,9 +433,7 @@ class DistributedTrainer:
             for bucket in self._buckets.buckets:
                 for i in bucket:
                     grads = [self._params[r][i].grad.data for r in world]
-                    self._flush_work[i] = self.comm.allreduce_mean_inplace(
-                        grads, self._flush_work[i]
-                    )
+                    self._flush_work[i] = self._allreduce(grads, self._flush_work[i])
             return
         for b, layout in enumerate(self._buckets.layouts):
             pack = self._packs[b]
@@ -374,9 +441,7 @@ class DistributedTrainer:
                 row = pack[r]
                 for i, off, n in layout:
                     np.copyto(row[off : off + n], self._params[r][i].grad.data.ravel())
-            self._pack_work[b] = self.comm.allreduce_mean_inplace(
-                list(pack), self._pack_work[b]
-            )
+            self._pack_work[b] = self._allreduce(list(pack), self._pack_work[b])
             for r in world:
                 row = pack[r]
                 for i, off, n in layout:
@@ -468,12 +533,171 @@ class DistributedTrainer:
                 totals[key] = totals.get(key, 0) + value
         return totals
 
+    # ----------------------------------------------------- checkpoint/resume
+    def training_state(self) -> tuple[dict[str, np.ndarray], dict]:
+        """Everything a bit-identical resume needs, as ``(arrays, meta)``.
+
+        Arrays: rank-0 model weights and Adam first/second moments (all
+        replicas and per-rank optimizers are identical by the sync
+        invariant).  Meta: Adam scalar state, the LR schedule's position,
+        and the progress cursor.  The data order needs no live RNG state —
+        every shuffle is a pure function of ``(seed, epoch)``, so the
+        cursor alone pins it.
+        """
+        cfg = self.config
+        opt, sched = self.optimizers[0], self.schedulers[0]
+        arrays: dict[str, np.ndarray] = {
+            f"model/{name}": arr for name, arr in self.replicas[0].state_dict().items()
+        }
+        for i, (m, v) in enumerate(zip(opt._m, opt._v)):
+            arrays[f"adam/m/{i}"] = m.copy()
+            arrays[f"adam/v/{i}"] = v.copy()
+        meta = {
+            "kind": CHECKPOINT_KIND,
+            "adam": {"t": opt.t, "lr": opt.lr, "n_params": len(opt.params)},
+            "schedule": {
+                "step_count": sched.step_count,
+                "base_lr": sched.base_lr,
+                "total_steps": sched.total_steps,
+                "eta_min": sched.eta_min,
+            },
+            "progress": {
+                "epoch": self._epoch,
+                "step_in_epoch": self._step_in_epoch,
+                "global_step": self.global_step,
+            },
+            "run": {
+                "seed": cfg.seed,
+                "global_batch_size": cfg.global_batch_size,
+                "world_size": cfg.world_size,
+                "epochs": cfg.epochs,
+            },
+        }
+        return arrays, meta
+
+    def save_checkpoint(self, path: str) -> None:
+        """Atomically write the current training state to ``path``."""
+        arrays, meta = self.training_state()
+        save_checkpoint(path, arrays, meta)
+
+    def load_training_state(self, arrays: dict[str, np.ndarray], meta: dict) -> None:
+        """Restore a :meth:`training_state` payload into this trainer.
+
+        The restored run must share ``seed`` and ``global_batch_size`` with
+        the checkpointed one (the data order is derived from them — a
+        mismatch breaks the resume contract and raises
+        :class:`~repro.train.checkpoint.CheckpointError`); ``world_size``
+        *may* differ (elastic shrink/replace), since per-rank sharding of a
+        global batch does not change the averaged gradient.
+        """
+        cfg = self.config
+        if meta.get("kind") != CHECKPOINT_KIND:
+            raise CheckpointError(
+                f"checkpoint kind {meta.get('kind')!r} is not {CHECKPOINT_KIND!r}"
+            )
+        run = meta["run"]
+        for key in ("seed", "global_batch_size"):
+            if run[key] != getattr(cfg, key):
+                raise CheckpointError(
+                    f"checkpoint {key}={run[key]} does not match config "
+                    f"{key}={getattr(cfg, key)}; the resumed data order would diverge"
+                )
+        model_state = {
+            name[len("model/") :]: arr
+            for name, arr in arrays.items()
+            if name.startswith("model/")
+        }
+        adam, sched_meta, progress = meta["adam"], meta["schedule"], meta["progress"]
+        n_params = adam["n_params"]
+        if n_params != len(self.optimizers[0].params):
+            raise CheckpointError(
+                f"checkpoint has {n_params} optimizer slots, model has "
+                f"{len(self.optimizers[0].params)}"
+            )
+        moments = []
+        for i in range(n_params):
+            try:
+                moments.append((arrays[f"adam/m/{i}"], arrays[f"adam/v/{i}"]))
+            except KeyError as exc:
+                raise CheckpointError(f"checkpoint missing Adam moment {exc}") from exc
+        for rep in self.replicas:
+            rep.load_state_dict(model_state)
+        for opt in self.optimizers:
+            opt.t = int(adam["t"])
+            opt.lr = float(adam["lr"])
+            for i, (m, v) in enumerate(moments):
+                if m.shape != opt._m[i].shape:
+                    raise CheckpointError(
+                        f"Adam moment {i} shape {m.shape} does not match "
+                        f"parameter shape {opt._m[i].shape}"
+                    )
+                np.copyto(opt._m[i], m)
+                np.copyto(opt._v[i], v)
+        for sched in self.schedulers:
+            sched.step_count = int(sched_meta["step_count"])
+            sched.base_lr = float(sched_meta["base_lr"])
+            # The checkpointed horizon wins over the constructor's (an
+            # elastic world change must not bend the LR trajectory).
+            sched.total_steps = int(sched_meta["total_steps"])
+            sched.eta_min = float(sched_meta["eta_min"])
+            sched.optimizer.lr = float(adam["lr"])
+        self._epoch = int(progress["epoch"])
+        self._step_in_epoch = int(progress["step_in_epoch"])
+        self.global_step = int(progress["global_step"])
+
+    @classmethod
+    def resume(
+        cls,
+        path: str,
+        model_factory: Callable[[], CHGNetModel],
+        train_dataset: StructureDataset,
+        config: DistributedConfig | None = None,
+        fault_plan: FaultPlan | None = None,
+    ) -> "DistributedTrainer":
+        """Rebuild a trainer from a checkpoint and continue its run.
+
+        Constructs a fresh trainer for ``config`` (samplers, loaders,
+        gradient buckets, and compilers all rebuild for the configured —
+        possibly different — world size) and restores the checkpointed
+        weights, moments, schedule position, and progress cursor into it.
+        Continuing with the *same* world size reproduces the uninterrupted
+        run bit-for-bit; a smaller world keeps the same data order and
+        schedule but sums per-rank gradients in a different order.
+        """
+        arrays, meta = load_checkpoint(path)
+        trainer = cls(model_factory, train_dataset, config, fault_plan=fault_plan)
+        trainer.load_training_state(arrays, meta)
+        return trainer
+
+    # ------------------------------------------------------------- train loop
     def train_epoch(self) -> list[StepStats]:
         return [self.train_step(shards) for shards in self.loader]
 
-    def train(self) -> list[StepStats]:
-        for _ in range(self.config.epochs):
-            self.train_epoch()
+    def train(
+        self, checkpoint_path: str | None = None, checkpoint_every: int = 1
+    ) -> list[StepStats]:
+        """Run from the current progress cursor to ``config.epochs``.
+
+        On a fresh trainer this is the plain multi-epoch loop; on a resumed
+        one it re-enters the interrupted epoch at the checkpointed step
+        (same ``(seed, epoch)`` shuffle, completed steps skipped).  With
+        ``checkpoint_path`` the state is saved every ``checkpoint_every``
+        global steps and once more when training completes.
+        """
+        if checkpoint_every < 1:
+            raise ValueError(f"checkpoint_every must be >= 1, got {checkpoint_every}")
+        while self._epoch < self.config.epochs:
+            epoch, skip = self._epoch, self._step_in_epoch
+            for i, shards in enumerate(self.loader.iter_epoch(epoch)):
+                if i < skip:
+                    continue
+                self.train_step(shards)
+                if checkpoint_path and self.global_step % checkpoint_every == 0:
+                    self.save_checkpoint(checkpoint_path)
+            self._epoch += 1
+            self._step_in_epoch = 0
+        if checkpoint_path:
+            self.save_checkpoint(checkpoint_path)
         return self.steps
 
     def replicas_in_sync(self, atol: float = 0.0) -> bool:

@@ -24,10 +24,14 @@ from repro.data.dataset import StructureDataset
 from repro.data.loader import DataLoader
 from repro.graph.batching import GraphBatch
 from repro.model.chgnet import CHGNetModel
+from repro.train.checkpoint import CheckpointError, load_checkpoint, save_checkpoint
 from repro.train.loss import CompositeLoss, LossBreakdown, LossWeights
 from repro.train.metrics import EvalResult, evaluate
 from repro.train.optimizer import Adam
 from repro.train.schedule import BASE_LR, CosineAnnealingLR, scaled_learning_rate
+
+#: Format tag of the single-device training-state checkpoint payload.
+CHECKPOINT_KIND = "single-v1"
 
 
 @dataclass
@@ -149,6 +153,9 @@ class Trainer:
         )
         self.history: list[EpochRecord] = []
         self.epoch_hooks: list[Callable[[int, EpochRecord], None]] = []
+        # Completed-epoch cursor: train() starts here, so a trainer restored
+        # from a checkpoint continues instead of starting over.
+        self._epoch = 0
 
     def add_epoch_hook(self, hook: Callable[[int, EpochRecord], None]) -> None:
         """Register ``hook(epoch, record)`` to run at the end of every epoch.
@@ -178,6 +185,7 @@ class Trainer:
         return breakdown
 
     def train_epoch(self, epoch: int) -> EpochRecord:
+        """Run one full pass over the loader; returns the epoch's mean losses."""
         sums = np.zeros(5)
         n = 0
         for batch in self.loader:
@@ -205,13 +213,141 @@ class Trainer:
         if self.val_dataset is not None:
             record.val, _ = evaluate(self.model, self.val_dataset)
         self.history.append(record)
+        # Advance the cursor before hooks run, so a checkpoint hook records
+        # this epoch as completed.
+        self._epoch = epoch + 1
         for hook in self.epoch_hooks:
             hook(epoch, record)
         return record
 
+    # ----------------------------------------------------- checkpoint/resume
+    def training_state(self) -> tuple[dict[str, np.ndarray], dict]:
+        """Epoch-granular training state as ``(arrays, meta)``.
+
+        Model weights plus Adam moments in ``arrays``; Adam scalars, the LR
+        schedule's position, and the completed-epoch cursor in ``meta``.
+        The loader's shuffle is a pure function of ``(seed, epoch)``, so
+        the cursor alone pins the resumed data order (mid-epoch cursors are
+        the distributed trainer's job — see
+        :meth:`repro.train.DistributedTrainer.training_state`).
+        """
+        opt, sched = self.optimizer, self.scheduler
+        arrays: dict[str, np.ndarray] = {
+            f"model/{name}": arr for name, arr in self.model.state_dict().items()
+        }
+        for i, (m, v) in enumerate(zip(opt._m, opt._v)):
+            arrays[f"adam/m/{i}"] = m.copy()
+            arrays[f"adam/v/{i}"] = v.copy()
+        meta = {
+            "kind": CHECKPOINT_KIND,
+            "adam": {"t": opt.t, "lr": opt.lr, "n_params": len(opt.params)},
+            "schedule": {
+                "step_count": sched.step_count,
+                "base_lr": sched.base_lr,
+                "total_steps": sched.total_steps,
+                "eta_min": sched.eta_min,
+            },
+            "progress": {"epoch": self._epoch},
+            "run": {"seed": self.config.seed, "batch_size": self.config.batch_size},
+        }
+        return arrays, meta
+
+    def save_checkpoint(self, path: str) -> None:
+        """Atomically write the current training state to ``path``."""
+        arrays, meta = self.training_state()
+        save_checkpoint(path, arrays, meta)
+
+    def load_training_state(self, arrays: dict[str, np.ndarray], meta: dict) -> None:
+        """Restore a :meth:`training_state` payload into this trainer.
+
+        ``seed`` and ``batch_size`` must match the checkpointed run (the
+        data order derives from them); mismatches raise
+        :class:`~repro.train.checkpoint.CheckpointError`.
+        """
+        if meta.get("kind") != CHECKPOINT_KIND:
+            raise CheckpointError(
+                f"checkpoint kind {meta.get('kind')!r} is not {CHECKPOINT_KIND!r}"
+            )
+        run = meta["run"]
+        for key in ("seed", "batch_size"):
+            if run[key] != getattr(self.config, key):
+                raise CheckpointError(
+                    f"checkpoint {key}={run[key]} does not match config "
+                    f"{key}={getattr(self.config, key)}; the resumed data order "
+                    "would diverge"
+                )
+        model_state = {
+            name[len("model/") :]: arr
+            for name, arr in arrays.items()
+            if name.startswith("model/")
+        }
+        adam, sched_meta, progress = meta["adam"], meta["schedule"], meta["progress"]
+        opt = self.optimizer
+        if adam["n_params"] != len(opt.params):
+            raise CheckpointError(
+                f"checkpoint has {adam['n_params']} optimizer slots, model has "
+                f"{len(opt.params)}"
+            )
+        self.model.load_state_dict(model_state)
+        opt.t = int(adam["t"])
+        opt.lr = float(adam["lr"])
+        for i in range(len(opt.params)):
+            try:
+                m, v = arrays[f"adam/m/{i}"], arrays[f"adam/v/{i}"]
+            except KeyError as exc:
+                raise CheckpointError(f"checkpoint missing Adam moment {exc}") from exc
+            if m.shape != opt._m[i].shape:
+                raise CheckpointError(
+                    f"Adam moment {i} shape {m.shape} does not match "
+                    f"parameter shape {opt._m[i].shape}"
+                )
+            np.copyto(opt._m[i], m)
+            np.copyto(opt._v[i], v)
+        sched = self.scheduler
+        sched.step_count = int(sched_meta["step_count"])
+        sched.base_lr = float(sched_meta["base_lr"])
+        sched.total_steps = int(sched_meta["total_steps"])
+        sched.eta_min = float(sched_meta["eta_min"])
+        sched.optimizer.lr = float(adam["lr"])
+        self._epoch = int(progress["epoch"])
+        # Re-anchor the loader so its next auto-advanced epoch matches the
+        # cursor (train() passes epochs explicitly anyway).
+        self.loader.epoch = self._epoch
+
+    @classmethod
+    def resume(
+        cls,
+        path: str,
+        model: CHGNetModel,
+        train_dataset: StructureDataset,
+        val_dataset: StructureDataset | None = None,
+        config: TrainConfig | None = None,
+    ) -> "Trainer":
+        """Rebuild a trainer from a checkpoint and continue its run."""
+        arrays, meta = load_checkpoint(path)
+        trainer = cls(model, train_dataset, val_dataset, config)
+        trainer.load_training_state(arrays, meta)
+        return trainer
+
+    def add_checkpoint_hook(self, path: str, every: int = 1) -> None:
+        """Save the training state to ``path`` every ``every`` epochs.
+
+        Epoch-end sugar over :meth:`add_epoch_hook` +
+        :meth:`save_checkpoint`; the write is atomic and CRC-stamped, so an
+        interrupted run always finds the last completed save intact.
+        """
+        if every < 1:
+            raise ValueError(f"every must be >= 1, got {every}")
+
+        def _save(epoch: int, record: EpochRecord) -> None:
+            if (epoch + 1) % every == 0:
+                self.save_checkpoint(path)
+
+        self.add_epoch_hook(_save)
+
     def train(self, verbose: bool = False) -> list[EpochRecord]:
-        """Run the configured number of epochs; returns the history."""
-        for epoch in range(self.config.epochs):
+        """Run from the completed-epoch cursor to ``config.epochs``."""
+        for epoch in range(self._epoch, self.config.epochs):
             record = self.train_epoch(epoch)
             if verbose:
                 msg = (

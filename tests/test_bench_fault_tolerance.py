@@ -1,0 +1,53 @@
+"""The fault-tolerance benchmark's smoke mode must always run end-to-end."""
+
+from __future__ import annotations
+
+import importlib.util
+import json
+import sys
+from pathlib import Path
+
+import pytest
+
+BENCH = Path(__file__).resolve().parents[1] / "benchmarks" / "bench_fault_tolerance.py"
+
+
+@pytest.fixture(scope="module")
+def bench_module():
+    spec = importlib.util.spec_from_file_location("bench_fault_tolerance", BENCH)
+    module = importlib.util.module_from_spec(spec)
+    sys.modules[spec.name] = module
+    spec.loader.exec_module(module)
+    return module
+
+
+def test_smoke_runs_end_to_end(bench_module, tmp_path):
+    out = tmp_path / "BENCH_fault_tolerance.json"
+    results = bench_module.main(["--smoke", "--out", str(out)])
+
+    assert results["mode"] == "smoke"
+    r = results["workloads"]["medium"]
+    # the kill + replacement-resume oracle: bit-identical finish
+    assert r["replacement_identical"] is True
+    assert r["replacement_steps_lost"] >= 1  # sparse cadence redoes real work
+    assert r["replacement_resume_seconds"] > 0
+    # elastic shrink recovered onto a feasible smaller world, in sync
+    assert r["shrink_world_after"] < r["shrink_world_before"]
+    assert r["shrink_survivors_in_sync"] is True
+    # straggler pricing is honest: the skewed run is modeled slower but
+    # produces identical weights
+    assert r["straggler_slowdown"] > 1.0
+    assert r["straggler_bit_consistent"] is True
+    # transient timeout was retried with priced backoff, not fatal
+    assert r["flush_retries"] >= 1
+    assert r["backoff_seconds"] > 0
+    assert r["retried_in_sync"] is True
+    # ring-traced flush matches the closed-form accounting
+    assert r["ring_traces"] > 0
+    assert r["ring_accounting_ok"] is True
+
+    # the JSON artifact is well-formed and carries the headline fields
+    written = json.loads(out.read_text())
+    assert written["medium_replacement_identical"] is True
+    assert "medium_recovery_overhead" in written
+    assert written["workloads"]["medium"]["checkpoint_write_seconds"] > 0

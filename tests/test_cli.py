@@ -65,3 +65,85 @@ def test_md_help_documents_model_only_flags():
     text = _help_of("md")
     assert "--skin" in text and "--compile" in text
     assert "model calculators only" in text
+
+
+def test_train_help_documents_fault_tolerance_flags():
+    text = _help_of("train")
+    for flag in ("--state", "--checkpoint-every", "--resume", "--inject-fault", "--no-shrink"):
+        assert flag in text
+    assert "kill:RANK:STEP" in text
+
+
+def test_inject_fault_requires_distributed_and_state(capsys):
+    from repro.cli import main
+
+    with pytest.raises(SystemExit, match="world-size"):
+        main(["train", "--inject-fault", "kill:0:1", "--structures", "16"])
+    with pytest.raises(SystemExit, match="--state"):
+        main(
+            [
+                "train",
+                "--inject-fault",
+                "kill:0:1",
+                "--world-size",
+                "2",
+                "--batch-size",
+                "4",
+                "--structures",
+                "16",
+                "--max-atoms",
+                "6",
+            ]
+        )
+
+
+def test_inject_fault_rejects_bad_spec():
+    from repro.cli import main
+
+    with pytest.raises(SystemExit, match="bad fault spec"):
+        main(
+            [
+                "train",
+                "--inject-fault",
+                "explode:now",
+                "--world-size",
+                "2",
+                "--batch-size",
+                "4",
+                "--state",
+                "/tmp/unused.rckpt",
+                "--structures",
+                "16",
+                "--max-atoms",
+                "6",
+            ]
+        )
+
+
+def test_train_kill_recover_resume_cycle(tmp_path, capsys):
+    """End-to-end CLI: fault-injected elastic run, then resume from state."""
+    from repro.cli import main
+
+    state = str(tmp_path / "state.rckpt")
+    base = [
+        "train",
+        "--structures",
+        "16",
+        "--max-atoms",
+        "6",
+        "--batch-size",
+        "4",
+        "--world-size",
+        "2",
+        "--epochs",
+        "2",
+    ]
+    assert main([*base, "--state", state, "--inject-fault", "kill:1:2"]) == 0
+    out = capsys.readouterr().out
+    assert "rank 1 failed at step 2" in out
+    assert "replicas in sync: True" in out
+
+    assert main([*base, "--epochs", "3", "--resume", state]) == 0
+    out = capsys.readouterr().out
+    assert "resumed from" in out
+    assert "replicas in sync: True" in out

@@ -219,3 +219,40 @@ class TestComputeModel:
         eff = weak_efficiency(points)
         assert eff[0] == 1.0
         assert eff[1] <= 1.0 and eff[2] <= eff[1] + 1e-9
+
+
+class TestRingHardening:
+    def test_mixed_dtype_rejected(self):
+        with pytest.raises(ValueError, match="dtype"):
+            ring_allreduce([np.ones(4, dtype=np.float64), np.ones(4, dtype=np.float32)])
+
+    def test_shape_error_names_offending_rank(self):
+        with pytest.raises(ValueError, match="rank 1"):
+            ring_allreduce([np.ones(3), np.ones(4)])
+
+    def test_traced_communicator_self_consistent(self, rng):
+        """trace_ring routes the packed flush through the explicit ring: all
+        ranks receive identical buffers and each collective leaves a trace."""
+        comm = SimCommunicator(3, trace_ring=True)
+        bufs = [rng.normal(size=10) for _ in range(3)]
+        originals = [b.copy() for b in bufs]
+        comm.allreduce_mean_inplace(bufs)
+        assert all(np.array_equal(bufs[0], b) for b in bufs[1:])
+        assert np.allclose(bufs[0], np.mean(originals, axis=0))
+        assert len(comm.ring_traces) == 1
+        assert comm.ring_traces[0].steps == 4  # 2(p-1), p=3
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    p=st.integers(min_value=2, max_value=6),
+    n=st.integers(min_value=1, max_value=100),
+    seed=st.integers(min_value=0, max_value=2**16),
+)
+def test_property_ring_volume_closed_form(p, n, seed):
+    """Traced bytes match 2 (p-1)/p * n exactly, non-divisible chunks included."""
+    rng = np.random.default_rng(seed)
+    bufs = [rng.normal(size=n) for _ in range(p)]
+    _, trace = ring_allreduce(bufs)
+    assert trace.bytes_per_rank == 2 * (p - 1) * n // p * bufs[0].itemsize
+    assert trace.steps == 2 * (p - 1)

@@ -1,18 +1,24 @@
-"""Documentation guarantees (ISSUE 5 satellites).
+"""Documentation guarantees (ISSUE 5/6 satellites).
 
-Two enforced contracts: the public serving/compile API is fully
-docstring-covered (every public class and method carries at least a
-one-line summary), and the documentation suite the README links to
-actually exists with its promised sections.
+Three enforced contracts: the public serving/compile/fault-tolerance API
+is fully docstring-covered (every public class and method carries at
+least a one-line summary), the documentation suite the README links to
+actually exists with its promised sections, and ``docs/cli.md`` tracks
+the argparse tree bidirectionally (every parser flag documented, every
+documented flag real).
 """
 
 from __future__ import annotations
 
+import argparse
 import inspect
+import re
 from pathlib import Path
 
 import pytest
 
+from repro.cli import build_parser
+from repro.comm.faults import FaultPlan, FaultyCommunicator
 from repro.data.samplers import BucketBatchSampler
 from repro.serve.engine import EngineStats, InferenceEngine, Prediction
 from repro.tensor.compile import (
@@ -20,6 +26,7 @@ from repro.tensor.compile import (
     SharedProgramCache,
     StepCompiler,
 )
+from repro.train.trainer import Trainer
 
 ROOT = Path(__file__).resolve().parents[1]
 
@@ -32,6 +39,9 @@ DOCUMENTED_CLASSES = [
     BucketBatchSampler,
     EngineStats,
     Prediction,
+    FaultPlan,
+    FaultyCommunicator,
+    Trainer,
 ]
 
 
@@ -73,7 +83,14 @@ class TestDocstringCoverage:
 class TestDocsSuite:
     @pytest.mark.parametrize(
         "path",
-        ["README.md", "docs/architecture.md", "docs/serving.md", "benchmarks/README.md"],
+        [
+            "README.md",
+            "docs/architecture.md",
+            "docs/serving.md",
+            "docs/fault_tolerance.md",
+            "docs/cli.md",
+            "benchmarks/README.md",
+        ],
     )
     def test_exists_and_nonempty(self, path):
         f = ROOT / path
@@ -89,9 +106,22 @@ class TestDocsSuite:
             "repro.cli serve",
             "docs/architecture.md",
             "docs/serving.md",
+            "docs/fault_tolerance.md",
             "benchmarks/README.md",
         ):
             assert required in text, f"README.md lost its pointer to {required!r}"
+
+    def test_fault_tolerance_doc_covers_the_contract(self):
+        text = (ROOT / "docs" / "fault_tolerance.md").read_text()
+        for required in (
+            "FaultPlan",
+            "RCKPT1",
+            "bit-identical",
+            "largest_feasible_world",
+            "--inject-fault",
+            "--resume",
+        ):
+            assert required in text, f"docs/fault_tolerance.md lost {required!r}"
 
     def test_benchmarks_readme_maps_every_bench(self):
         text = (ROOT / "benchmarks" / "README.md").read_text()
@@ -99,3 +129,53 @@ class TestDocsSuite:
             assert bench.name in text, f"benchmarks/README.md misses {bench.name}"
         for artifact in ("BENCH_serve_live.json", "BENCH_train_step.json"):
             assert artifact in text
+
+
+class TestCliDocsDriftGate:
+    """``docs/cli.md`` and the argparse tree must agree, both directions."""
+
+    @staticmethod
+    def _parser_surface() -> dict[str, set[str]]:
+        parser = build_parser()
+        sub = next(
+            a for a in parser._actions if isinstance(a, argparse._SubParsersAction)
+        )
+        return {
+            name: {
+                opt.option_strings[0]
+                for opt in p._actions
+                if opt.option_strings and opt.option_strings[0] != "-h"
+            }
+            for name, p in sub.choices.items()
+        }
+
+    @staticmethod
+    def _documented_surface() -> dict[str, set[str]]:
+        text = (ROOT / "docs" / "cli.md").read_text()
+        sections: dict[str, set[str]] = {}
+        current = None
+        for line in text.splitlines():
+            heading = re.match(r"^## `(\w+)`", line)
+            if heading:
+                current = heading.group(1)
+                sections[current] = set()
+            elif current is not None:
+                sections[current].update(re.findall(r"`(--[\w-]+)`", line))
+        return sections
+
+    def test_every_subcommand_documented(self):
+        parser_cmds = set(self._parser_surface())
+        doc_cmds = set(self._documented_surface())
+        assert parser_cmds == doc_cmds, (
+            f"docs/cli.md subcommands drifted: missing={parser_cmds - doc_cmds} "
+            f"stale={doc_cmds - parser_cmds}"
+        )
+
+    @pytest.mark.parametrize("command", sorted(_parser_surface.__func__()))
+    def test_flags_in_sync(self, command):
+        parser_flags = self._parser_surface()[command]
+        doc_flags = self._documented_surface().get(command, set())
+        missing = parser_flags - doc_flags
+        stale = doc_flags - parser_flags
+        assert not missing, f"docs/cli.md misses {command} flags: {sorted(missing)}"
+        assert not stale, f"docs/cli.md documents nonexistent {command} flags: {sorted(stale)}"

@@ -138,3 +138,151 @@ class TestCLI:
 
         assert main(["md", "--structure", "LiMnO2", "--steps", "1", "--calculator", "oracle"]) == 0
         assert "ms/step" in capsys.readouterr().out
+
+
+class TestCheckpointFailures:
+    """Corrupt training state must be rejected, never half-loaded."""
+
+    def test_module_load_missing_file_raises_valueerror(self, small_config, tmp_path):
+        model = CHGNetModel(small_config, np.random.default_rng(0))
+        with pytest.raises(ValueError, match="cannot read checkpoint"):
+            model.load(str(tmp_path / "missing.npz"))
+
+    def test_module_load_garbage_raises_valueerror(self, small_config, tmp_path):
+        path = tmp_path / "garbage.npz"
+        path.write_bytes(b"this is not an npz archive at all")
+        model = CHGNetModel(small_config, np.random.default_rng(0))
+        with pytest.raises(ValueError, match="cannot read checkpoint"):
+            model.load(str(path))
+
+    def test_truncated_training_checkpoint_rejected(self, tmp_path, rng):
+        from repro.train import CheckpointError, load_checkpoint, save_checkpoint
+
+        path = str(tmp_path / "state.rckpt")
+        save_checkpoint(path, {"w": rng.standard_normal(16)}, {"kind": "t"})
+        blob = open(path, "rb").read()
+        open(path, "wb").write(blob[:20])
+        with pytest.raises(CheckpointError, match="truncated"):
+            load_checkpoint(path)
+
+    def test_bitflipped_training_checkpoint_rejected(self, tmp_path, rng):
+        from repro.train import CheckpointError, load_checkpoint, save_checkpoint
+
+        path = str(tmp_path / "state.rckpt")
+        save_checkpoint(path, {"w": rng.standard_normal(16)}, {"kind": "t"})
+        blob = bytearray(open(path, "rb").read())
+        blob[len(blob) // 2] ^= 0x40
+        open(path, "wb").write(bytes(blob))
+        with pytest.raises(CheckpointError, match="CRC"):
+            load_checkpoint(path)
+
+
+class TestTrainingFaultSurfaces:
+    """Injected comm faults surface as typed errors, not hangs or corruption."""
+
+    def test_collective_timeout_surfaces_beyond_retries(self, small_config, tiny_entries):
+        from repro.comm import CollectiveTimeout, FaultPlan
+        from repro.data import StructureDataset
+        from repro.train import DistributedConfig, DistributedTrainer
+
+        ds = StructureDataset(tiny_entries)
+        factory = lambda: CHGNetModel(
+            small_config.with_level(OptLevel.DECOMPOSE_FS), np.random.default_rng(5)
+        )
+        plan = FaultPlan().timeout(step=0, attempts=9)
+        trainer = DistributedTrainer(
+            factory,
+            ds,
+            DistributedConfig(
+                world_size=2, global_batch_size=4, epochs=1, max_flush_retries=2
+            ),
+            fault_plan=plan,
+        )
+        with pytest.raises(CollectiveTimeout):
+            trainer.train()
+
+    def test_rank_failure_surfaces_without_checkpoint(self, small_config, tiny_entries):
+        from repro.comm import FaultPlan, RankFailure
+        from repro.data import StructureDataset
+        from repro.train import DistributedConfig, DistributedTrainer
+
+        ds = StructureDataset(tiny_entries)
+        factory = lambda: CHGNetModel(
+            small_config.with_level(OptLevel.DECOMPOSE_FS), np.random.default_rng(5)
+        )
+        trainer = DistributedTrainer(
+            factory,
+            ds,
+            DistributedConfig(world_size=2, global_batch_size=4, epochs=1),
+            fault_plan=FaultPlan().kill(rank=0, step=1),
+        )
+        with pytest.raises(RankFailure) as err:
+            trainer.train()
+        assert err.value.rank == 0 and err.value.step == 1
+
+
+class TestServingFailures:
+    """A poisoned or overloaded request fails alone; the engine keeps serving."""
+
+    @pytest.fixture()
+    def engine(self, small_config):
+        from repro.serve import InferenceEngine
+
+        model = CHGNetModel(small_config, np.random.default_rng(0))
+        return InferenceEngine(model, max_batch_structs=4, max_pending=3)
+
+    def test_nan_request_fails_without_wedging_engine(self, engine):
+        crystal = cscl(11, 17)
+        poisoned = Crystal(
+            Lattice(crystal.lattice.matrix.copy()),
+            crystal.species,
+            crystal.frac_coords.copy(),
+        )
+        poisoned.frac_coords[0, 0] = np.nan
+        with pytest.raises(ValueError, match="non-finite"):
+            engine.submit(poisoned)
+        # the engine still serves healthy traffic afterwards
+        good = engine.submit(crystal)
+        engine.flush()
+        assert engine.poll(good) is not None
+
+    def test_inf_lattice_rejected(self, engine):
+        crystal = cscl(11, 17)
+        poisoned = Crystal(
+            Lattice(crystal.lattice.matrix * np.inf),
+            crystal.species,
+            crystal.frac_coords.copy(),
+        )
+        with pytest.raises(ValueError, match="lattice"):
+            engine.submit(poisoned)
+
+    def test_overload_sheds_typed_and_counted(self, engine):
+        from repro.serve import EngineOverloaded
+
+        crystal = cscl(11, 17)
+        accepted = []
+        with pytest.raises(EngineOverloaded):
+            for _ in range(10):
+                accepted.append(engine.submit(crystal))
+        assert len(accepted) == 3  # max_pending
+        assert engine.stats.load_shed == 1
+        engine.flush()
+        assert all(engine.poll(i) is not None for i in accepted)
+
+    def test_submit_after_shutdown_raises_typed(self, engine):
+        from repro.serve import EngineClosed
+
+        crystal = cscl(11, 17)
+        rid = engine.submit(crystal)
+        engine.shutdown()
+        assert engine.closed
+        with pytest.raises(EngineClosed):
+            engine.submit(crystal)
+        with pytest.raises(EngineClosed):
+            engine.predict_many([crystal])
+        # accepted work was flushed by shutdown and stays pollable
+        assert engine.poll(rid) is not None
+
+    def test_shutdown_idempotent(self, engine):
+        engine.shutdown()
+        assert engine.shutdown() == 0
