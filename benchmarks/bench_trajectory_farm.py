@@ -1,0 +1,221 @@
+"""Trajectory-farm benchmark: lockstep waves vs the sequential eager loop.
+
+Measures the ISSUE-7 batched-iterative-workload path end to end: a mixed
+pool of FIRE relaxations and NVT MD runs advanced in lockstep waves
+through :meth:`InferenceEngine.predict_wave` (tiered micro-batching,
+compiled-program replay, per-trajectory Verlet skin caches with
+incremental angle updates) against the baseline every prior PR ran —
+one eager ``calculator.calculate`` per structure per step.
+
+Both sides record every frame; the farm must be **bit-identical** to the
+sequential loop on positions, forces and energies at every step of every
+trajectory (``np.array_equal``, not allclose), and at least ``2x`` faster
+in structure-steps/s.  Also reports the neighbor-cache hit rate, the
+angle reuse/diff/rebuild split and the engine's program-cache hit rate.
+
+Writes ``BENCH_trajectory_farm.json`` (and a markdown table) under
+``benchmarks/out/``.  ``--smoke`` shrinks the farm so the whole run takes
+seconds; the tier-1 suite executes that mode end-to-end.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_trajectory_farm.py [--smoke]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import time
+
+import numpy as np
+
+from repro.bench.reporting import emit, format_table, output_dir
+from repro.data.mptrj import generate_mptrj
+from repro.md import (
+    FIREConfig,
+    MDSpec,
+    ModelCalculator,
+    RelaxSpec,
+    TrajectoryFarm,
+    run_sequential,
+)
+from repro.model import CHGNetConfig, CHGNetModel, OptLevel
+from repro.serve import InferenceEngine
+
+
+def _config(dim: int) -> CHGNetConfig:
+    return CHGNetConfig(
+        atom_fea_dim=dim,
+        bond_fea_dim=dim,
+        angle_fea_dim=dim,
+        num_radial=5,
+        angular_order=2,
+        hidden_dim=dim,
+        opt_level=OptLevel.DECOMPOSE_FS,
+    )
+
+
+def _model(dim: int) -> CHGNetModel:
+    model = CHGNetModel(_config(dim), np.random.default_rng(1))
+    # Un-zero the zero-initialized readout heads so bitwise-equality checks
+    # compare real (non-zero) energies/forces and FIRE has forces to follow.
+    rng = np.random.default_rng(7)
+    for p in model.parameters():
+        p.data += rng.normal(scale=0.05, size=p.data.shape)
+    return model
+
+
+def _specs(n_trajectories: int, pool: int, max_atoms: int, n_steps: int) -> list:
+    """Mixed workload: half NVT MD, half FIRE relaxations.
+
+    The relaxations use a tolerance far below what a random-weight model
+    can reach, so they run their full ``max_steps`` budget — the bench
+    measures steady-state stepping throughput, not early convergence.
+    """
+    entries = generate_mptrj(pool, seed=3, max_atoms=max_atoms)
+    fire = FIREConfig(fmax=1e-6, max_steps=n_steps)
+    specs = []
+    for i in range(n_trajectories):
+        crystal = entries[i % pool].crystal.perturbed(
+            np.random.default_rng(100 + i), 0.03
+        )
+        if i % 2 == 0:
+            specs.append(
+                MDSpec(crystal, n_steps, temperature_k=300.0, seed=i, rescale_every=5)
+            )
+        else:
+            specs.append(RelaxSpec(crystal, fire))
+    return specs
+
+
+def _frames_equal(a, b) -> bool:
+    return (
+        a.steps == b.steps
+        and len(a.frames) == len(b.frames)
+        and all(
+            np.array_equal(fa.positions, fb.positions)
+            and np.array_equal(fa.forces, fb.forces)
+            and fa.energy == fb.energy
+            for fa, fb in zip(a.frames, b.frames)
+        )
+    )
+
+
+def bench_farm(
+    dim: int, n_trajectories: int, pool: int, max_atoms: int, n_steps: int
+) -> dict:
+    model = _model(dim)
+    specs = _specs(n_trajectories, pool, max_atoms, n_steps)
+
+    # Shrinking waves visit many distinct group sizes — each one a program
+    # signature — so the cache needs headroom far beyond the default 16.
+    engine = InferenceEngine(
+        model, n_workers=2, compile=True, max_batch_structs=8, max_programs=256
+    )
+    farm = TrajectoryFarm(engine, skin=1.0, record=True)
+    for spec in specs:
+        farm.add(spec)
+    t0 = time.perf_counter()
+    farmed = farm.run()
+    farm_wall = time.perf_counter() - t0
+    stats = farmed.stats
+
+    # The baseline of every prior PR: one eager single-point per structure
+    # per step, graph rebuilt from scratch each call.
+    calc = ModelCalculator(model)
+    t0 = time.perf_counter()
+    solo = run_sequential(specs, calc, record=True)
+    base_wall = time.perf_counter() - t0
+
+    identical = all(_frames_equal(f, s) for f, s in zip(farmed.results, solo))
+    steps = stats.structure_steps
+    snap = engine.snapshot()
+    diff = stats.diff
+    angle_events = diff.angle_reuses + diff.angle_diffs + diff.angle_rebuilds
+    return {
+        "trajectories": n_trajectories,
+        "md_steps": n_steps,
+        "structure_steps": steps,
+        "farm_seconds": farm_wall,
+        "sequential_seconds": base_wall,
+        "farm_steps_per_s": steps / farm_wall,
+        "sequential_steps_per_s": steps / base_wall,
+        "speedup": base_wall / farm_wall,
+        "bit_identical": identical,
+        "waves": stats.waves,
+        "first_wave": stats.wave_sizes[0],
+        "last_wave": stats.wave_sizes[-1],
+        "evaluations": stats.evaluations,
+        "neighbor_builds": stats.neighbor_builds,
+        "neighbor_reuses": stats.neighbor_reuses,
+        "neighbor_hit_rate": stats.neighbor_reuses
+        / max(1, stats.neighbor_builds + stats.neighbor_reuses),
+        "angle_reuses": diff.angle_reuses,
+        "angle_diffs": diff.angle_diffs,
+        "angle_rebuilds": diff.angle_rebuilds,
+        "angle_incremental_rate": (diff.angle_reuses + diff.angle_diffs)
+        / max(1, angle_events),
+        "program_replays": snap["replays"],
+        "program_captures": snap["captures"],
+        "program_hit_rate": snap["hit_rate"],
+    }
+
+
+def main(argv: list[str] | None = None) -> dict:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--smoke", action="store_true", help="seconds-long run")
+    parser.add_argument("--out", default=None, help="JSON output path")
+    args = parser.parse_args(argv)
+
+    dim = 8
+    n_trajectories = 12 if args.smoke else 64
+    pool = 6 if args.smoke else 16
+    max_atoms = 6
+    n_steps = 6 if args.smoke else 12
+
+    results = {
+        "mode": "smoke" if args.smoke else "full",
+        "farm": bench_farm(dim, n_trajectories, pool, max_atoms, n_steps),
+    }
+    results["speedup"] = results["farm"]["speedup"]
+    results["bit_identical"] = results["farm"]["bit_identical"]
+
+    out_path = args.out or (output_dir() / "BENCH_trajectory_farm.json")
+    with open(out_path, "w") as fh:
+        json.dump(results, fh, indent=2)
+
+    f = results["farm"]
+    rows = [
+        [
+            "sequential eager",
+            f"{f['sequential_steps_per_s']:.1f} steps/s",
+            f"{f['structure_steps']} single-points",
+            "full rebuild each step",
+            "(reference)",
+        ],
+        [
+            "trajectory farm",
+            f"{f['farm_steps_per_s']:.1f} steps/s ({f['speedup']:.2f}x)",
+            f"{f['waves']} waves ({f['first_wave']} -> {f['last_wave']})",
+            f"nbr hit {f['neighbor_hit_rate'] * 100:.0f}%, "
+            f"angle incr {f['angle_incremental_rate'] * 100:.0f}%, "
+            f"prog hit {f['program_hit_rate'] * 100:.0f}%",
+            "bit-identical" if f["bit_identical"] else "DIVERGED",
+        ],
+    ]
+    emit(
+        "trajectory_farm",
+        format_table(
+            ["driver", "throughput", "batching", "reuse", "vs solo"],
+            rows,
+            title=f"Batched iterative workloads ({f['trajectories']} mixed "
+            "relax/MD trajectories, lockstep waves vs per-structure eager)",
+        ),
+    )
+    print(f"wrote {out_path}")
+    return results
+
+
+if __name__ == "__main__":
+    main()

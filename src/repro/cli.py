@@ -4,6 +4,9 @@ Commands
 --------
 ``train``    train a CHGNet/FastCHGNet variant on a synthetic-MPtrj corpus
 ``md``       run molecular dynamics on a named Table-II structure
+``relax``    FIRE geometry relaxation of a (perturbed) named structure
+``farm``     advance a mixed pool of relaxations/MD runs in lockstep waves
+             through the serving engine
 ``serve``    serve a bulk inference request stream (tiered dynamic batching,
              adaptive tier merging, versioned weight hot-swap)
 ``profile``  profile one training iteration per optimization level
@@ -131,6 +134,98 @@ def _add_md(sub: argparse._SubParsersAction) -> None:
     )
 
 
+def _add_relax(sub: argparse._SubParsersAction) -> None:
+    p = sub.add_parser("relax", help="FIRE relaxation of a Table II structure")
+    p.add_argument("--structure", choices=("LiMnO2", "LiTiPO5", "Li9Co7O16"), default="LiMnO2")
+    p.add_argument("--calculator", choices=("oracle", "fast", "chgnet"), default="oracle")
+    p.add_argument("--checkpoint", default="", help="load model weights from this .npz path")
+    p.add_argument(
+        "--fmax",
+        type=float,
+        default=0.05,
+        help="convergence tolerance on the max per-atom force norm (eV/A)",
+    )
+    p.add_argument("--max-steps", type=int, default=500, help="force-evaluation budget")
+    p.add_argument(
+        "--max-step",
+        type=float,
+        default=0.2,
+        help="trust radius (A): largest per-atom displacement allowed per drift",
+    )
+    p.add_argument("--timestep", type=float, default=0.5, help="initial FIRE timestep (fs)")
+    p.add_argument(
+        "--perturb",
+        type=float,
+        default=0.1,
+        help="gaussian jitter (A, stddev) applied to positions before relaxing "
+        "(0: relax the pristine prototype)",
+    )
+    p.add_argument("--seed", type=int, default=0, help="jitter seed")
+    p.add_argument(
+        "--skin",
+        type=float,
+        default=0.0,
+        help="Verlet skin radius in angstroms (model calculators only): reuse "
+        "the neighbor search across steps until an atom moves > skin/2",
+    )
+    p.add_argument(
+        "--compile",
+        action="store_true",
+        help="compiled single-point inference (model calculators only)",
+    )
+
+
+def _add_farm(sub: argparse._SubParsersAction) -> None:
+    p = sub.add_parser(
+        "farm", help="lockstep trajectory farm (mixed relax/MD) over the engine"
+    )
+    p.add_argument("--trajectories", type=int, default=16, help="total trajectory count")
+    p.add_argument(
+        "--structures", type=int, default=8, help="candidate pool size (trajectories cycle it)"
+    )
+    p.add_argument("--max-atoms", type=int, default=8)
+    p.add_argument(
+        "--md-fraction",
+        type=float,
+        default=0.5,
+        help="fraction of trajectories run as NVT MD (the rest relax with FIRE)",
+    )
+    p.add_argument("--steps", type=int, default=20, help="MD steps per MD trajectory")
+    p.add_argument(
+        "--fmax", type=float, default=0.05, help="relaxation convergence tolerance (eV/A)"
+    )
+    p.add_argument(
+        "--max-steps", type=int, default=50, help="relaxation force-evaluation budget"
+    )
+    p.add_argument("--temperature", type=float, default=300.0, help="MD thermostat target (K)")
+    p.add_argument("--workers", type=int, default=2, help="simulated serving workers")
+    p.add_argument(
+        "--batch-structs", type=int, default=8, help="engine micro-batch flush threshold"
+    )
+    p.add_argument(
+        "--skin",
+        type=float,
+        default=1.0,
+        help="per-trajectory Verlet skin radius in angstroms (0: rebuild the "
+        "neighbor list every step)",
+    )
+    p.add_argument("--variant", choices=("chgnet", "fast", "fast-wo-head"), default="fast")
+    p.add_argument("--checkpoint", default="", help="load model weights from this .npz path")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument(
+        "--compile",
+        action="store_true",
+        help="compiled wave inference: each wave's micro-batches replay cached "
+        "programs (bit-identical to eager)",
+    )
+    p.add_argument(
+        "--baseline",
+        action="store_true",
+        help="also run the sequential per-trajectory eager loop and report the "
+        "structure-steps/s speedup plus a per-frame bitwise equality check",
+    )
+
+
 def _add_serve(sub: argparse._SubParsersAction) -> None:
     p = sub.add_parser(
         "serve", help="serve a bulk inference stream through the batching engine"
@@ -215,6 +310,8 @@ def build_parser() -> argparse.ArgumentParser:
     sub = parser.add_subparsers(dest="command", required=True)
     _add_train(sub)
     _add_md(sub)
+    _add_relax(sub)
+    _add_farm(sub)
     _add_serve(sub)
     _add_profile(sub)
     _add_dataset(sub)
@@ -387,23 +484,11 @@ def cmd_train(args: argparse.Namespace) -> int:
 
 
 def cmd_md(args: argparse.Namespace) -> int:
-    from repro.md import ModelCalculator, MolecularDynamics, OracleCalculator
-    from repro.model import CHGNet, FastCHGNet
+    from repro.md import MolecularDynamics
     from repro.structures import named_structures
 
     crystal = named_structures()[args.structure]
-    if args.calculator == "oracle":
-        if args.skin:
-            print("warning: --skin only applies to model calculators; ignored")
-        if args.compile:
-            print("warning: --compile only applies to model calculators; ignored")
-        calc = OracleCalculator()
-    else:
-        rng = np.random.default_rng(0)
-        model = FastCHGNet(rng) if args.calculator == "fast" else CHGNet(rng)
-        if args.checkpoint:
-            model.load(args.checkpoint)
-        calc = ModelCalculator(model, skin=args.skin, compile=args.compile)
+    calc = _model_calculator(args)
     md = MolecularDynamics(
         crystal, calc, timestep_fs=args.timestep, temperature_k=args.temperature, seed=0
     )
@@ -415,6 +500,174 @@ def cmd_md(args: argparse.Namespace) -> int:
             f"T {rec.temperature:7.1f} K  {rec.step_seconds * 1e3:7.1f} ms/step"
         )
     print(f"mean step time: {result.mean_step_seconds * 1e3:.1f} ms")
+    return 0
+
+
+def _model_calculator(args: argparse.Namespace):
+    """Oracle or model calculator from the shared --calculator flags."""
+    from repro.md import ModelCalculator, OracleCalculator
+    from repro.model import CHGNet, FastCHGNet
+
+    if args.calculator == "oracle":
+        if args.skin:
+            print("warning: --skin only applies to model calculators; ignored")
+        if args.compile:
+            print("warning: --compile only applies to model calculators; ignored")
+        return OracleCalculator()
+    rng = np.random.default_rng(0)
+    model = FastCHGNet(rng) if args.calculator == "fast" else CHGNet(rng)
+    if args.checkpoint:
+        model.load(args.checkpoint)
+    return ModelCalculator(model, skin=args.skin, compile=args.compile)
+
+
+def cmd_relax(args: argparse.Namespace) -> int:
+    from repro.md import FIRE, FIREConfig
+    from repro.structures import named_structures
+
+    crystal = named_structures()[args.structure]
+    if args.perturb > 0:
+        crystal = crystal.perturbed(np.random.default_rng(args.seed), args.perturb)
+    calc = _model_calculator(args)
+    config = FIREConfig(
+        fmax=args.fmax,
+        max_steps=args.max_steps,
+        max_step=args.max_step,
+        timestep_fs=args.timestep,
+    )
+    config.validate()
+    result = FIRE(config).relax(crystal, calc)
+    print(
+        f"{args.structure}: {crystal.num_atoms} atoms, "
+        f"perturbed {args.perturb:.3f} A, fmax tolerance {args.fmax} eV/A"
+    )
+    stride = max(1, len(result.records) // 10)
+    for rec in result.records:
+        if rec.step % stride == 0 or rec.step == result.n_steps:
+            print(
+                f"  step {rec.step:4d}  E {rec.energy:10.4f} eV  "
+                f"fmax {rec.fmax:8.4f} eV/A  dt {rec.dt:5.3f} fs"
+            )
+    status = "converged" if result.converged else "NOT converged"
+    print(
+        f"{status} in {result.n_steps} steps: E {result.state.potential_energy:.4f} eV, "
+        f"fmax {result.state.fmax:.4f} eV/A"
+    )
+    return 0 if result.converged else 1
+
+
+def cmd_farm(args: argparse.Namespace) -> int:
+    import time
+
+    from repro.data import generate_mptrj
+    from repro.md import (
+        FIREConfig,
+        MDSpec,
+        ModelCalculator,
+        RelaxSpec,
+        TrajectoryFarm,
+        run_sequential,
+    )
+    from repro.model import CHGNet, FastCHGNet
+    from repro.serve import InferenceEngine
+
+    if not 0 <= args.md_fraction <= 1:
+        raise SystemExit(f"--md-fraction must lie in [0, 1], got {args.md_fraction}")
+    rng = np.random.default_rng(args.seed)
+    if args.variant == "chgnet":
+        model = CHGNet(rng)
+    elif args.variant == "fast-wo-head":
+        model = FastCHGNet(rng, use_heads=False)
+    else:
+        model = FastCHGNet(rng)
+    if args.checkpoint:
+        model.load(args.checkpoint)
+
+    pool = generate_mptrj(args.structures, seed=args.seed, max_atoms=args.max_atoms)
+    n_md = int(round(args.md_fraction * args.trajectories))
+    fire = FIREConfig(fmax=args.fmax, max_steps=args.max_steps)
+    specs = []
+    for i in range(args.trajectories):
+        crystal = pool[i % len(pool)].crystal.perturbed(
+            np.random.default_rng(args.seed + 100 + i), 0.03
+        )
+        if i < n_md:
+            specs.append(
+                MDSpec(
+                    crystal,
+                    args.steps,
+                    temperature_k=args.temperature,
+                    seed=args.seed + i,
+                    rescale_every=5,
+                )
+            )
+        else:
+            specs.append(RelaxSpec(crystal, fire))
+
+    # Shrinking waves visit many distinct group sizes (each one a program
+    # signature), so give the cache plenty of headroom over the default 16.
+    engine = InferenceEngine(
+        model,
+        n_workers=args.workers,
+        compile=args.compile,
+        max_batch_structs=args.batch_structs,
+        max_programs=256,
+    )
+    farm = TrajectoryFarm(engine, skin=args.skin, record=args.baseline)
+    for spec in specs:
+        farm.add(spec)
+    t0 = time.perf_counter()
+    result = farm.run()
+    wall = time.perf_counter() - t0
+    stats = result.stats
+    n_relax = args.trajectories - n_md
+    converged = sum(1 for r in result.results if r.kind == "relax" and r.converged)
+    rate = stats.structure_steps / wall if wall > 0 else float("inf")
+    print(
+        f"{args.trajectories} trajectories ({n_md} MD x {args.steps} steps, "
+        f"{n_relax} relax @ fmax {args.fmax}): {stats.structure_steps} "
+        f"structure-steps in {wall:.3f}s ({rate:.1f} steps/s)"
+    )
+    print(
+        f"  {stats.waves} waves (sizes {stats.wave_sizes[0]} -> {stats.wave_sizes[-1]}), "
+        f"{stats.evaluations} evaluations, {converged}/{n_relax} relaxations converged"
+    )
+    print(
+        f"  neighbor cache: {stats.neighbor_builds} builds / "
+        f"{stats.neighbor_reuses} reuses; angle arrays: "
+        f"{stats.diff.angle_reuses} reused / {stats.diff.angle_diffs} diffed / "
+        f"{stats.diff.angle_rebuilds} rebuilt"
+    )
+    if args.compile:
+        snap = engine.snapshot()
+        print(
+            f"  program cache: {snap['replays']} replays / {snap['captures']} captures "
+            f"(hit rate {snap['hit_rate'] * 100:.1f}%)"
+        )
+    if args.baseline:
+        calc = ModelCalculator(model)
+        t0 = time.perf_counter()
+        base = run_sequential(specs, calc, record=True)
+        base_wall = time.perf_counter() - t0
+        identical = all(
+            f.steps == b.steps
+            and len(f.frames) == len(b.frames)
+            and all(
+                np.array_equal(ff.positions, bf.positions)
+                and np.array_equal(ff.forces, bf.forces)
+                and ff.energy == bf.energy
+                for ff, bf in zip(f.frames, b.frames)
+            )
+            for f, b in zip(result.results, base)
+        )
+        base_rate = stats.structure_steps / base_wall if base_wall > 0 else float("inf")
+        print(
+            f"  sequential eager baseline: {base_rate:.1f} steps/s -> "
+            f"speedup {base_wall / wall:.2f}x, "
+            f"{'bit-identical' if identical else 'DIVERGED'}"
+        )
+        if not identical:
+            return 1
     return 0
 
 
@@ -591,6 +844,8 @@ def cmd_dataset(args: argparse.Namespace) -> int:
 COMMANDS = {
     "train": cmd_train,
     "md": cmd_md,
+    "relax": cmd_relax,
+    "farm": cmd_farm,
     "serve": cmd_serve,
     "profile": cmd_profile,
     "dataset": cmd_dataset,

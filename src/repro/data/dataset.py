@@ -9,8 +9,9 @@ import numpy as np
 
 from repro.data.mptrj import LabeledStructure
 from repro.graph.batching import Labels, collate
-from repro.graph.crystal_graph import CrystalGraph, build_graph
+from repro.graph.crystal_graph import CrystalGraph, GraphDiffStats, build_graph
 from repro.structures.elements import MAX_Z
+from repro.structures.neighbors import NeighborCache
 
 
 class CompositionNormalizer:
@@ -84,6 +85,9 @@ def _build_graphs(
     cutoff_atom: float,
     cutoff_bond: float,
     n_workers: int | None,
+    skin: float = 0.0,
+    cache: NeighborCache | None = None,
+    diff_stats: GraphDiffStats | None = None,
 ) -> list[CrystalGraph]:
     """Build one graph per entry, optionally through a worker pool.
 
@@ -91,7 +95,30 @@ def _build_graphs(
     thread pool (the heavy parts — neighbor search, sorting, the vectorized
     angle assembly — run in NumPy's C loops, which release the GIL).  Order
     and results are identical to the serial build.
+
+    ``skin`` > 0 instead builds serially through one Verlet
+    :class:`NeighborCache` (passed as ``cache``) shared across consecutive
+    entries, with the angle arrays diffed against each previous build —
+    the trajectory-dataset case, where consecutive frames of one base
+    structure reuse the pair search.  The cache's own rebuild checks
+    (lattice/species/displacement) keep every graph exact, so arbitrary
+    entry orders are safe, just cache-cold.
     """
+    if skin > 0:
+        graphs: list[CrystalGraph] = []
+        prev: CrystalGraph | None = None
+        for e in entries:
+            graph = build_graph(
+                e.crystal,
+                cutoff_atom,
+                cutoff_bond,
+                nl=cache.query(e.crystal),
+                prev=prev,
+                diff_stats=diff_stats,
+            )
+            graphs.append(graph)
+            prev = graph
+        return graphs
     if not n_workers or n_workers <= 1 or len(entries) < 2:
         return [build_graph(e.crystal, cutoff_atom, cutoff_bond) for e in entries]
     from concurrent.futures import ThreadPoolExecutor
@@ -116,6 +143,14 @@ class StructureDataset:
 
     ``n_workers`` parallelizes the one-time graph construction (see
     :func:`_build_graphs`); the default stays serial.
+
+    ``skin`` > 0 builds graphs through one Verlet neighbor cache shared
+    across consecutive entries (serial; mutually exclusive with
+    ``n_workers`` > 1) — the win for relaxation/MD trajectory datasets
+    whose consecutive frames share a base structure.  Graphs are
+    bit-identical to the default build; :attr:`neighbor_builds` /
+    :attr:`neighbor_reuses` and :attr:`graph_diff_stats` report how much
+    work the cache saved.
     """
 
     def __init__(
@@ -125,16 +160,30 @@ class StructureDataset:
         cutoff_bond: float = 3.0,
         memoize_batches: bool | int = False,
         n_workers: int | None = None,
+        skin: float = 0.0,
     ) -> None:
         if not entries:
             raise ValueError("dataset must contain at least one entry")
+        if skin < 0:
+            raise ValueError(f"skin must be non-negative, got {skin}")
+        if skin > 0 and n_workers and n_workers > 1:
+            raise ValueError("skin-cached graph building is serial; use n_workers=1")
         self.entries = entries
         self.cutoff_atom = cutoff_atom
         self.cutoff_bond = cutoff_bond
         self.memoize_batches = memoize_batches
+        self.skin = skin
+        self._skin_cache = NeighborCache(cutoff_atom, skin) if skin > 0 else None
+        self.graph_diff_stats = GraphDiffStats()
         self._batch_cache: OrderedDict[tuple[int, ...], object] = OrderedDict()
         self.graphs: list[CrystalGraph] = _build_graphs(
-            entries, cutoff_atom, cutoff_bond, n_workers
+            entries,
+            cutoff_atom,
+            cutoff_bond,
+            n_workers,
+            skin=skin,
+            cache=self._skin_cache,
+            diff_stats=self.graph_diff_stats,
         )
         self.feature_numbers = np.array([g.feature_number for g in self.graphs])
         # Per-graph (atoms, edges, short edges, angles): the padding planner's
@@ -149,6 +198,16 @@ class StructureDataset:
 
     def __len__(self) -> int:
         return len(self.entries)
+
+    @property
+    def neighbor_builds(self) -> int:
+        """Pair searches run during skin-cached graph building (0 otherwise)."""
+        return self._skin_cache.num_builds if self._skin_cache is not None else 0
+
+    @property
+    def neighbor_reuses(self) -> int:
+        """Graph builds that reused the cached pair search (0 otherwise)."""
+        return self._skin_cache.num_reuses if self._skin_cache is not None else 0
 
     @property
     def _cache_cap(self) -> int | None:
@@ -189,6 +248,9 @@ class StructureDataset:
         ds.cutoff_atom = self.cutoff_atom
         ds.cutoff_bond = self.cutoff_bond
         ds.memoize_batches = self.memoize_batches
+        ds.skin = self.skin
+        ds._skin_cache = self._skin_cache
+        ds.graph_diff_stats = self.graph_diff_stats
         ds._batch_cache = OrderedDict()
         ds.graphs = [self.graphs[int(i)] for i in indices]
         ds.feature_numbers = self.feature_numbers[indices]

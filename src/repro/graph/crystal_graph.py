@@ -25,6 +25,36 @@ from repro.structures.neighbors import NeighborList, neighbor_list
 
 
 @dataclass
+class GraphDiffStats:
+    """Counters of the incremental angle-update path of :func:`build_graph`.
+
+    ``angle_reuses`` — builds whose per-atom short-edge counts matched the
+    previous graph exactly, so its angle arrays were shared by reference;
+    ``angle_diffs`` — builds where only the changed atoms' pair grids were
+    reconstructed; ``angle_rebuilds`` — full reconstructions (no usable
+    previous graph).  ``angles_copied``/``angles_recomputed`` count the
+    angles shifted over from the previous build vs. built from scratch
+    during diff passes.
+    """
+
+    angle_reuses: int = 0
+    angle_diffs: int = 0
+    angle_rebuilds: int = 0
+    angles_copied: int = 0
+    angles_recomputed: int = 0
+
+    def as_dict(self) -> dict:
+        """Flat counter dict (for farm stats / bench reports)."""
+        return {
+            "angle_reuses": self.angle_reuses,
+            "angle_diffs": self.angle_diffs,
+            "angle_rebuilds": self.angle_rebuilds,
+            "angles_copied": self.angles_copied,
+            "angles_recomputed": self.angles_recomputed,
+        }
+
+
+@dataclass
 class CrystalGraph:
     """Graph representation of one crystal.
 
@@ -72,11 +102,96 @@ class CrystalGraph:
         return self.num_atoms + self.num_edges + self.num_angles
 
 
+def _angle_grids(
+    atoms: np.ndarray, counts: np.ndarray, starts: np.ndarray
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Ordered short-edge pair grids for the given atoms' runs.
+
+    Short edges are sorted by src (the neighbor list is lexsorted), so each
+    atom's edges form a contiguous run; the pair grids of all requested runs
+    are built in one vectorized pass (enumerate each atom's c^2 local (p, q)
+    combinations, then drop the p == q diagonal).  ``atoms`` must be
+    ascending for the output to be in canonical (atom-major) order.
+    """
+    c = counts[atoms]
+    sq = c * c
+    total = int(sq.sum())
+    if not total:
+        empty = np.zeros(0, dtype=np.int64)
+        return empty, empty.copy(), empty.copy()
+    c_rep = np.repeat(c, sq)  # run length c, repeated c^2 times
+    base = np.repeat(starts[atoms], sq)  # run start per combination
+    local = segment_arange(sq)
+    p_local = local // np.maximum(c_rep, 1)
+    q_local = local - p_local * c_rep
+    off_diag = p_local != q_local
+    angle_e1 = (base + p_local)[off_diag]
+    angle_e2 = (base + q_local)[off_diag]
+    angle_center = np.repeat(atoms, sq)[off_diag]
+    return angle_e1, angle_e2, angle_center
+
+
+def _angle_diff(
+    counts: np.ndarray,
+    starts: np.ndarray,
+    prev_counts: np.ndarray,
+    prev: CrystalGraph,
+    diff_stats: GraphDiffStats | None,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Angle arrays rebuilt only where per-atom short-edge counts changed.
+
+    The angle arrays are a pure function of the per-atom short-edge count
+    vector (each atom contributes its c*(c-1) ordered pair grid over a
+    contiguous run), so an atom whose count is unchanged keeps its previous
+    block verbatim up to a constant shift of the run start; only changed
+    atoms' grids are reconstructed.  The result is bit-identical to the
+    full build.
+    """
+    prev_starts = offsets(prev_counts)
+    changed = counts != prev_counts
+    ang_new = counts * (counts - 1)
+    ang_prev = prev_counts * (prev_counts - 1)
+    new_off = offsets(ang_new)
+    prev_off = offsets(ang_prev)
+    total = int(new_off[-1])
+    angle_e1 = np.empty(total, dtype=np.int64)
+    angle_e2 = np.empty(total, dtype=np.int64)
+    angle_center = np.empty(total, dtype=np.int64)
+
+    keep = np.flatnonzero(~changed & (ang_new > 0))
+    if keep.size:
+        block = ang_new[keep]
+        seg = segment_arange(block)
+        src_idx = np.repeat(prev_off[keep], block) + seg
+        dst_idx = np.repeat(new_off[keep], block) + seg
+        shift = np.repeat(starts[keep] - prev_starts[keep], block)
+        angle_e1[dst_idx] = prev.angle_e1[src_idx] + shift
+        angle_e2[dst_idx] = prev.angle_e2[src_idx] + shift
+        angle_center[dst_idx] = np.repeat(keep, block)
+    redo = np.flatnonzero(changed)
+    redone = 0
+    if redo.size:
+        r1, r2, rc = _angle_grids(redo, counts, starts)
+        redone = int(r1.shape[0])
+        block = ang_new[redo]
+        dst_idx = np.repeat(new_off[redo], block) + segment_arange(block)
+        angle_e1[dst_idx] = r1
+        angle_e2[dst_idx] = r2
+        angle_center[dst_idx] = rc
+    if diff_stats is not None:
+        diff_stats.angle_diffs += 1
+        diff_stats.angles_recomputed += redone
+        diff_stats.angles_copied += total - redone
+    return angle_e1, angle_e2, angle_center
+
+
 def build_graph(
     crystal: Crystal,
     cutoff_atom: float = 6.0,
     cutoff_bond: float = 3.0,
     nl: NeighborList | None = None,
+    prev: CrystalGraph | None = None,
+    diff_stats: GraphDiffStats | None = None,
 ) -> CrystalGraph:
     """Extract atom graph and bond graph from a crystal.
 
@@ -84,6 +199,15 @@ def build_graph(
     canonical order (e.g. from a :class:`~repro.structures.NeighborCache`
     during MD); when given, the pair search is skipped and only the derived
     short-edge and angle arrays are recomputed.
+
+    ``prev`` supplies the previous build of the *same trajectory* (same
+    atom count and cutoffs — anything else falls back to a full build).
+    Because the angle arrays depend only on the per-atom short-edge counts,
+    a skin-reuse step whose short-edge set barely changed reuses the
+    previous angle arrays outright (counts identical — the common MD case)
+    or rebuilds only the changed atoms' pair grids, O(changed atoms)
+    instead of O(angles); either way the output is bit-identical to a full
+    rebuild.  ``diff_stats`` collects reuse/diff/rebuild counters.
 
     Raises if an atom has no neighbor within ``cutoff_atom`` (an isolated
     atom has no defined message path; the paper's dataset never contains
@@ -105,29 +229,36 @@ def build_graph(
     short_idx = np.flatnonzero(short_mask).astype(np.int64)
     short_src = nl.src[short_idx]
 
-    # Ordered pairs of short edges sharing a source atom.  Short edges are
-    # sorted by src (the neighbor list is lexsorted), so each atom's edges
-    # form a contiguous run; the pair grids of all runs are built in one
-    # vectorized pass (enumerate each atom's c^2 local (p, q) combinations,
-    # then drop the p == q diagonal).
     counts = np.bincount(short_src, minlength=n).astype(np.int64)
     starts = offsets(counts)
-    sq = counts * counts
-    total = int(sq.sum())
-    if total:
-        c_rep = np.repeat(counts, sq)  # run length c, repeated c^2 times
-        base = np.repeat(starts[:-1], sq)  # run start per combination
-        local = segment_arange(sq)
-        p_local = local // np.maximum(c_rep, 1)
-        q_local = local - p_local * c_rep
-        off_diag = p_local != q_local
-        angle_e1 = (base + p_local)[off_diag]
-        angle_e2 = (base + q_local)[off_diag]
-        angle_center = np.repeat(np.arange(n, dtype=np.int64), sq)[off_diag]
+    usable_prev = (
+        prev is not None
+        and prev.num_atoms == n
+        and prev.cutoff_bond == cutoff_bond
+        and prev.cutoff_atom == cutoff_atom
+    )
+    if usable_prev:
+        prev_counts = np.bincount(
+            prev.edge_src[prev.short_idx], minlength=n
+        ).astype(np.int64)
+        if np.array_equal(counts, prev_counts):
+            # Same counts => identical angle arrays; share them by reference
+            # (graph arrays are immutable once built).
+            if diff_stats is not None:
+                diff_stats.angle_reuses += 1
+            angle_e1 = prev.angle_e1
+            angle_e2 = prev.angle_e2
+            angle_center = prev.angle_center
+        else:
+            angle_e1, angle_e2, angle_center = _angle_diff(
+                counts, starts, prev_counts, prev, diff_stats
+            )
     else:
-        angle_e1 = np.zeros(0, dtype=np.int64)
-        angle_e2 = np.zeros(0, dtype=np.int64)
-        angle_center = np.zeros(0, dtype=np.int64)
+        if diff_stats is not None:
+            diff_stats.angle_rebuilds += 1
+        angle_e1, angle_e2, angle_center = _angle_grids(
+            np.arange(n, dtype=np.int64), counts, starts
+        )
 
     return CrystalGraph(
         crystal=crystal,

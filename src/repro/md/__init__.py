@@ -1,7 +1,18 @@
-"""Molecular dynamics: calculators, velocity-Verlet integrator, MD driver."""
+"""Molecular dynamics: calculators, velocity-Verlet integrator, MD driver,
+FIRE relaxation and the lockstep trajectory farm."""
 
 from repro.md.calculator import CalcResult, Calculator, ModelCalculator, OracleCalculator
 from repro.md.dynamics import MDRecord, MDResult, MolecularDynamics
+from repro.md.farm import (
+    FarmResult,
+    FarmStats,
+    MDSpec,
+    RelaxSpec,
+    TrajectoryFarm,
+    TrajectoryResult,
+    TrajFrame,
+    run_sequential,
+)
 from repro.md.integrator import (
     ACCEL_CONV,
     KB_EV,
@@ -10,6 +21,15 @@ from repro.md.integrator import (
     instantaneous_temperature,
     kinetic_energy,
     maxwell_boltzmann_velocities,
+    rescale_to_temperature,
+)
+from repro.md.relax import (
+    FIRE,
+    FIREConfig,
+    FIREState,
+    RelaxRecord,
+    RelaxResult,
+    max_force_norm,
 )
 
 __all__ = [
@@ -27,4 +47,19 @@ __all__ = [
     "instantaneous_temperature",
     "kinetic_energy",
     "maxwell_boltzmann_velocities",
+    "rescale_to_temperature",
+    "FIRE",
+    "FIREConfig",
+    "FIREState",
+    "RelaxRecord",
+    "RelaxResult",
+    "max_force_norm",
+    "FarmResult",
+    "FarmStats",
+    "MDSpec",
+    "RelaxSpec",
+    "TrajectoryFarm",
+    "TrajectoryResult",
+    "TrajFrame",
+    "run_sequential",
 ]

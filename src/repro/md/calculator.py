@@ -26,7 +26,7 @@ import numpy as np
 
 from repro.data.oracle import OraclePotential
 from repro.graph.batching import collate
-from repro.graph.crystal_graph import build_graph
+from repro.graph.crystal_graph import CrystalGraph, GraphDiffStats, build_graph
 from repro.model.chgnet import CHGNetModel
 from repro.structures.crystal import Crystal
 from repro.structures.neighbors import NeighborCache
@@ -76,6 +76,10 @@ class ModelCalculator(Calculator):
         self._cache = (
             NeighborCache(model.config.cutoff_atom, skin) if skin > 0 else None
         )
+        self._prev_graph: CrystalGraph | None = None
+        self._many_caches: list[NeighborCache] = []
+        self._many_prev: list[CrystalGraph | None] = []
+        self.diff_stats = GraphDiffStats()
         self._compiler = None
         self._engine = None
         if compile:
@@ -102,8 +106,16 @@ class ModelCalculator(Calculator):
         committee evaluation) then reuse both their built graphs and their
         collated micro-batches, binding and replaying with zero
         re-concatenation (crystals must not be mutated between calls).
-        Results are bit-identical to calling :meth:`calculate` per structure
-        without a skin list.
+
+        A calculator built with ``skin > 0`` keeps one
+        :class:`~repro.structures.NeighborCache` (and previous graph, for
+        incremental angle updates) **per list position**, so repeated calls
+        over trajectory frames — crystal ``i`` of one call succeeding
+        crystal ``i`` of the previous — reuse each slot's pair search the
+        same way :meth:`calculate` does, and the engine receives pre-built
+        graphs.  Cached queries are exact, so results are bit-identical to
+        calling :meth:`calculate` per structure with or without a skin
+        list.
         """
         from repro.serve import InferenceEngine
 
@@ -126,25 +138,50 @@ class ModelCalculator(Calculator):
             # The model may have been fine-tuned between calls; publish its
             # current weights so no batch is served on a stale version.
             engine.refresh_weights()
+        items: list[Crystal] | list[CrystalGraph] = crystals
+        if self.skin > 0:
+            while len(self._many_caches) < len(crystals):
+                self._many_caches.append(
+                    NeighborCache(self.model.config.cutoff_atom, self.skin)
+                )
+                self._many_prev.append(None)
+            graphs = []
+            for i, crystal in enumerate(crystals):
+                graph = self._build(crystal, self._many_caches[i], self._many_prev[i])
+                self._many_prev[i] = graph
+                graphs.append(graph)
+            items = graphs
         return [
             CalcResult(
                 energy=p.energy, forces=p.forces, stress=p.stress, magmom=p.magmom
             )
-            for p in engine.predict_many(crystals)
+            for p in engine.predict_many(items)
         ]
 
-    def calculate(self, crystal: Crystal) -> CalcResult:
-        nl = self._cache.query(crystal) if self._cache is not None else None
-        batch = collate(
-            [
-                build_graph(
-                    crystal,
-                    self.model.config.cutoff_atom,
-                    self.model.config.cutoff_bond,
-                    nl=nl,
-                )
-            ]
+    def _build(
+        self, crystal: Crystal, cache: NeighborCache, prev: CrystalGraph | None
+    ) -> CrystalGraph:
+        """Graph through a skin cache, angle arrays diffed against ``prev``."""
+        return build_graph(
+            crystal,
+            self.model.config.cutoff_atom,
+            self.model.config.cutoff_bond,
+            nl=cache.query(crystal),
+            prev=prev,
+            diff_stats=self.diff_stats,
         )
+
+    def calculate(self, crystal: Crystal) -> CalcResult:
+        if self._cache is not None:
+            graph = self._build(crystal, self._cache, self._prev_graph)
+            self._prev_graph = graph
+        else:
+            graph = build_graph(
+                crystal,
+                self.model.config.cutoff_atom,
+                self.model.config.cutoff_bond,
+            )
+        batch = collate([graph])
         if self._compiler is not None:
             out = self._compiler.run(batch)
             energy = float(out["energy"][0]) * crystal.num_atoms

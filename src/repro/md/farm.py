@@ -1,0 +1,355 @@
+"""Massively-parallel trajectory farm over the serving engine.
+
+The workloads real users run against a universal potential are iterative —
+geometry relaxation and MD — and embarrassingly parallel across structures:
+a screening pass relaxes thousands of candidates, an ensemble run advances
+hundreds of replicas.  :class:`TrajectoryFarm` holds N independent
+trajectories (FIRE relaxations and NVE/NVT MD runs, freely mixed) and
+advances them in **lockstep waves**: each wave gathers every live
+trajectory's half-kicked, drifted crystal, builds its graph through a
+per-trajectory Verlet skin cache with incremental angle updates
+(:func:`repro.graph.crystal_graph.build_graph` ``prev``), routes the whole
+set through one :meth:`InferenceEngine.predict_wave` round-trip — where
+tier batching and compiled-program replay amortize the model cost — then
+finishes every integrator step and **retires** converged/finished
+trajectories so later waves shrink.  Survivor order is preserved.
+
+Bit-identity: the farm drives the exact same two-phase step code
+(:meth:`FIRE.begin_step`/:meth:`finish_step`,
+:meth:`VelocityVerlet.begin_step`/:meth:`finish_step`) as the sequential
+baseline :func:`run_sequential`, skin-cached neighbor lists and
+angle diffs are exact, and served predictions are bit-identical to solo
+eager inference (the engine's row-stable kernel contract) — so farmed
+trajectories match solo ones to the bit at every step.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.graph.crystal_graph import CrystalGraph, GraphDiffStats, build_graph
+from repro.md.calculator import CalcResult, Calculator
+from repro.md.integrator import (
+    VelocityVerlet,
+    VerletState,
+    maxwell_boltzmann_velocities,
+    rescale_to_temperature,
+)
+from repro.md.relax import FIRE, FIREConfig, max_force_norm
+from repro.structures.crystal import Crystal
+from repro.structures.neighbors import NeighborCache
+
+
+@dataclass(frozen=True)
+class RelaxSpec:
+    """One FIRE relaxation job for a farm."""
+
+    crystal: Crystal
+    config: FIREConfig = field(default_factory=FIREConfig)
+
+
+@dataclass(frozen=True)
+class MDSpec:
+    """One MD job for a farm.
+
+    NVE by default; ``rescale_every > 0`` applies the deterministic
+    velocity-rescale thermostat to ``temperature_k`` every that many steps
+    (the simplest NVT).  Initial velocities are Maxwell-Boltzmann from
+    ``seed``, so a spec fully determines its trajectory.
+    """
+
+    crystal: Crystal
+    n_steps: int
+    timestep_fs: float = 1.0
+    temperature_k: float = 300.0
+    seed: int = 0
+    rescale_every: int = 0
+
+
+@dataclass
+class TrajFrame:
+    """Per-step snapshot kept when recording (positions/forces/energy)."""
+
+    positions: np.ndarray  # (n, 3) cartesian, A
+    forces: np.ndarray  # (n, 3) eV/A
+    energy: float  # eV
+
+
+@dataclass
+class TrajectoryResult:
+    """Outcome of one trajectory, in submission order."""
+
+    index: int
+    kind: str  # "relax" | "md"
+    crystal: Crystal  # final structure
+    steps: int  # integrator steps taken (evaluations beyond the initial one)
+    converged: bool  # relax: fmax reached; md: ran to n_steps
+    fmax: float  # final max per-atom force norm (eV/A)
+    energy: float  # final potential energy (eV)
+    frames: list[TrajFrame] = field(default_factory=list)
+
+
+@dataclass
+class FarmStats:
+    """Counters of one farm run (see :meth:`TrajectoryFarm.run`)."""
+
+    waves: int = 0  # engine round-trips, the initial evaluation included
+    structure_steps: int = 0  # integrator steps finished across all trajectories
+    evaluations: int = 0  # model evaluations, initial wave included
+    retired: int = 0  # trajectories retired (all of them, at completion)
+    wave_sizes: list[int] = field(default_factory=list)  # live count per wave
+    neighbor_builds: int = 0  # pair searches run across all skin caches
+    neighbor_reuses: int = 0  # queries answered from a cached search
+    diff: GraphDiffStats = field(default_factory=GraphDiffStats)
+
+    def as_dict(self) -> dict:
+        """Flat counter dict (for benches/CLI)."""
+        out = {
+            "waves": self.waves,
+            "structure_steps": self.structure_steps,
+            "evaluations": self.evaluations,
+            "retired": self.retired,
+            "wave_sizes": list(self.wave_sizes),
+            "neighbor_builds": self.neighbor_builds,
+            "neighbor_reuses": self.neighbor_reuses,
+        }
+        out.update(self.diff.as_dict())
+        return out
+
+
+@dataclass
+class FarmResult:
+    """All trajectories' outcomes (submission order) plus run counters."""
+
+    results: list[TrajectoryResult]
+    stats: FarmStats
+
+
+class _Trajectory:
+    """One live trajectory: spec, driver, state, staged half-step."""
+
+    def __init__(self, index: int, spec: RelaxSpec | MDSpec, record: bool) -> None:
+        self.index = index
+        self.spec = spec
+        self.record = record
+        self.frames: list[TrajFrame] = []
+        self.steps = 0
+        self.done = False
+        self._staged: tuple[Crystal, np.ndarray] | None = None
+        if isinstance(spec, RelaxSpec):
+            self.kind = "relax"
+            self.driver = FIRE(spec.config)
+            self.limit = spec.config.max_steps
+        elif isinstance(spec, MDSpec):
+            if spec.n_steps < 0:
+                raise ValueError(f"n_steps must be non-negative, got {spec.n_steps}")
+            if spec.rescale_every < 0:
+                raise ValueError(
+                    f"rescale_every must be non-negative, got {spec.rescale_every}"
+                )
+            self.kind = "md"
+            self.driver = VelocityVerlet(spec.timestep_fs)
+            self.limit = spec.n_steps
+        else:
+            raise TypeError(f"unknown trajectory spec {type(spec).__name__}")
+        self.state: VerletState | None = None
+
+    def start(self, result: CalcResult) -> None:
+        """Install the initial evaluation; may retire immediately."""
+        crystal = self.spec.crystal
+        if self.kind == "relax":
+            self.state = self.driver.init_state(crystal, result)
+            if self.driver.converged(self.state) or self.limit == 0:
+                self.done = True
+        else:
+            velocities = maxwell_boltzmann_velocities(
+                crystal, self.spec.temperature_k, np.random.default_rng(self.spec.seed)
+            )
+            self.state = VerletState(crystal, velocities, result.forces, result.energy)
+            if self.limit == 0:
+                self.done = True
+        if self.record:
+            self._snap(result)
+
+    def begin(self) -> Crystal:
+        """Phase one of the step: the crystal the model must evaluate."""
+        crystal, v_half = self.driver.begin_step(self.state)
+        self._staged = (crystal, v_half)
+        return crystal
+
+    def finish(self, result: CalcResult) -> None:
+        """Phase two: integrate the fresh forces, thermostat, retire checks."""
+        crystal, v_half = self._staged
+        self._staged = None
+        self.steps += 1
+        if self.kind == "relax":
+            self.state = self.driver.finish_step(self.state, crystal, v_half, result)
+            if self.driver.converged(self.state) or self.steps >= self.limit:
+                self.done = True
+        else:
+            self.state = self.driver.finish_step(crystal, v_half, result)
+            spec = self.spec
+            if spec.rescale_every and self.steps % spec.rescale_every == 0:
+                self.state.velocities = rescale_to_temperature(
+                    crystal, self.state.velocities, spec.temperature_k
+                )
+            if self.steps >= self.limit:
+                self.done = True
+        if self.record:
+            self._snap(result)
+
+    def _snap(self, result: CalcResult) -> None:
+        self.frames.append(
+            TrajFrame(self.state.crystal.cart_coords, result.forces, result.energy)
+        )
+
+    def result(self) -> TrajectoryResult:
+        """Final outcome (call after retirement)."""
+        converged = (
+            self.driver.converged(self.state) if self.kind == "relax" else self.done
+        )
+        return TrajectoryResult(
+            index=self.index,
+            kind=self.kind,
+            crystal=self.state.crystal,
+            steps=self.steps,
+            converged=converged,
+            fmax=max_force_norm(self.state.forces),
+            energy=self.state.potential_energy,
+            frames=self.frames,
+        )
+
+
+class TrajectoryFarm:
+    """Advance many independent trajectories in lockstep engine waves.
+
+    ``engine`` supplies the model (and its cutoffs); ``skin`` sizes the
+    per-trajectory Verlet caches (0 rebuilds every step); ``record=True``
+    keeps per-step :class:`TrajFrame` snapshots on every trajectory (the
+    bit-identity instrument — cheap, the arrays are the step's own).
+
+    Shrinking waves visit many distinct group sizes, each its own program
+    signature — build the engine with ``max_programs`` comfortably above
+    ``max_batch_structs`` x live tiers so late small waves still replay.
+    """
+
+    def __init__(
+        self, engine, skin: float = 1.0, record: bool = False
+    ) -> None:
+        if skin < 0:
+            raise ValueError(f"skin must be non-negative, got {skin}")
+        self.engine = engine
+        self.skin = skin
+        self.record = record
+        self.stats = FarmStats()
+        self._trajectories: list[_Trajectory] = []
+        self._caches: list[NeighborCache] = []
+        self._prev: list[CrystalGraph | None] = []
+        self._started = False
+
+    def add(self, spec: RelaxSpec | MDSpec) -> int:
+        """Register one trajectory; returns its index (= result position)."""
+        if self._started:
+            raise RuntimeError("farm already run; build a new one")
+        index = len(self._trajectories)
+        self._trajectories.append(_Trajectory(index, spec, self.record))
+        self._caches.append(
+            NeighborCache(self.engine.config.cutoff_atom, self.skin)
+        )
+        self._prev.append(None)
+        return index
+
+    def add_relax(self, crystal: Crystal, config: FIREConfig | None = None) -> int:
+        """Register a FIRE relaxation of ``crystal``."""
+        return self.add(RelaxSpec(crystal, config or FIREConfig()))
+
+    def add_md(self, crystal: Crystal, n_steps: int, **kwargs) -> int:
+        """Register an MD run of ``crystal`` (kwargs as :class:`MDSpec`)."""
+        return self.add(MDSpec(crystal, n_steps, **kwargs))
+
+    def __len__(self) -> int:
+        return len(self._trajectories)
+
+    def _graph(self, trajectory: _Trajectory, crystal: Crystal) -> CrystalGraph:
+        cache = self._caches[trajectory.index]
+        graph = build_graph(
+            crystal,
+            self.engine.config.cutoff_atom,
+            self.engine.config.cutoff_bond,
+            nl=cache.query(crystal),
+            prev=self._prev[trajectory.index],
+            diff_stats=self.stats.diff,
+        )
+        self._prev[trajectory.index] = graph
+        return graph
+
+    def _wave(self, live: list[_Trajectory], crystals: list[Crystal]) -> list[CalcResult]:
+        graphs = [self._graph(t, c) for t, c in zip(live, crystals)]
+        predictions = self.engine.predict_wave(graphs)
+        self.stats.waves += 1
+        self.stats.wave_sizes.append(len(live))
+        self.stats.evaluations += len(live)
+        return [
+            CalcResult(energy=p.energy, forces=p.forces, stress=p.stress, magmom=p.magmom)
+            for p in predictions
+        ]
+
+    def run(self, max_waves: int | None = None) -> FarmResult:
+        """Drive every trajectory to completion; results in submission order.
+
+        Wave 0 evaluates all starting crystals; each following wave steps
+        every live trajectory once and retires the finished ones (list
+        order preserved among survivors).  ``max_waves`` bounds the number
+        of *stepping* waves (``None`` = run to completion).
+        """
+        if self._started:
+            raise RuntimeError("farm already run; build a new one")
+        if not self._trajectories:
+            raise ValueError("farm has no trajectories")
+        self._started = True
+        trajectories = self._trajectories
+        for trajectory, result in zip(
+            trajectories, self._wave(trajectories, [t.spec.crystal for t in trajectories])
+        ):
+            trajectory.start(result)
+        live = [t for t in trajectories if not t.done]
+        self.stats.retired += len(trajectories) - len(live)
+        waves = 0
+        while live and (max_waves is None or waves < max_waves):
+            crystals = [t.begin() for t in live]
+            for trajectory, result in zip(live, self._wave(live, crystals)):
+                trajectory.finish(result)
+            waves += 1
+            self.stats.structure_steps += len(live)
+            survivors = [t for t in live if not t.done]
+            self.stats.retired += len(live) - len(survivors)
+            live = survivors
+        for cache in self._caches:
+            self.stats.neighbor_builds += cache.num_builds
+            self.stats.neighbor_reuses += cache.num_reuses
+        return FarmResult(
+            results=[t.result() for t in trajectories], stats=self.stats
+        )
+
+
+def run_sequential(
+    specs: list[RelaxSpec | MDSpec], calculator: Calculator, record: bool = False
+) -> list[TrajectoryResult]:
+    """The per-trajectory eager baseline (and the farm's bit-identity oracle).
+
+    Each spec is driven to completion one at a time, one
+    ``calculator.calculate`` per step — no batching, no skin cache, no
+    engine: exactly the seed's step-by-step behavior.  Same two-phase step
+    code as the farm, so outputs are comparable frame by frame.
+    """
+    results = []
+    for index, spec in enumerate(specs):
+        trajectory = _Trajectory(index, spec, record)
+        trajectory.start(calculator.calculate(spec.crystal))
+        while not trajectory.done:
+            crystal = trajectory.begin()
+            trajectory.finish(calculator.calculate(crystal))
+        results.append(trajectory.result())
+    return results

@@ -67,8 +67,14 @@ class VelocityVerlet:
             raise ValueError(f"timestep must be positive, got {timestep_fs}")
         self.dt = timestep_fs
 
-    def step(self, state: VerletState, calculator) -> VerletState:
-        """Advance one MD step; returns the new state."""
+    def begin_step(self, state: VerletState) -> tuple[Crystal, np.ndarray]:
+        """First half-kick and drift: the positions the model must evaluate.
+
+        Returns the advanced crystal and the half-step velocities; feed the
+        model's result to :meth:`finish_step`.  Splitting the step in two
+        phases lets a trajectory farm gather many trajectories' advanced
+        crystals into one batched evaluation between the phases.
+        """
         crystal = state.crystal
         masses = ATOMIC_MASS[crystal.species][:, None]
         accel = state.forces / masses * ACCEL_CONV
@@ -80,12 +86,38 @@ class VelocityVerlet:
             crystal.lattice.cart_to_frac(new_cart),
             name=crystal.name,
         )
-        result = calculator.calculate(new_crystal)
+        return new_crystal, v_half
+
+    def finish_step(self, crystal: Crystal, v_half: np.ndarray, result) -> VerletState:
+        """Second half-kick from the fresh forces; returns the new state."""
+        masses = ATOMIC_MASS[crystal.species][:, None]
         accel_new = result.forces / masses * ACCEL_CONV
         v_new = v_half + 0.5 * self.dt * accel_new
         return VerletState(
-            crystal=new_crystal,
+            crystal=crystal,
             velocities=v_new,
             forces=result.forces,
             potential_energy=result.energy,
         )
+
+    def step(self, state: VerletState, calculator) -> VerletState:
+        """Advance one MD step; returns the new state."""
+        crystal, v_half = self.begin_step(state)
+        result = calculator.calculate(crystal)
+        return self.finish_step(crystal, v_half, result)
+
+
+def rescale_to_temperature(
+    crystal: Crystal, velocities: np.ndarray, temperature_k: float
+) -> np.ndarray:
+    """Deterministic velocity-rescale thermostat step (the simplest NVT).
+
+    Scales the velocities so the instantaneous kinetic temperature equals
+    ``temperature_k``; a no-op when the system carries no kinetic energy.
+    """
+    if temperature_k < 0:
+        raise ValueError(f"temperature must be non-negative, got {temperature_k}")
+    t_inst = instantaneous_temperature(crystal, velocities)
+    if t_inst <= 0.0:
+        return velocities
+    return velocities * np.sqrt(temperature_k / t_inst)

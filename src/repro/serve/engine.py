@@ -164,6 +164,10 @@ class EngineStats:
     collate_misses: int = 0
     #: requests rejected because the pending queue was at ``max_pending``
     load_shed: int = 0
+    #: lockstep trajectory-farm rounds served via :meth:`InferenceEngine.predict_wave`
+    waves: int = 0
+    #: structures served across those waves
+    wave_structs: int = 0
     #: summed raw workload cost of all dispatched structures
     raw_cost: int = 0
     #: summed priced workload cost of the padded batches serving them
@@ -202,6 +206,8 @@ class EngineStats:
             "collate_hits": self.collate_hits,
             "collate_misses": self.collate_misses,
             "load_shed": self.load_shed,
+            "waves": self.waves,
+            "wave_structs": self.wave_structs,
             "padding_overhead": self.padding_overhead,
             "latency_p50": percentile(self.latencies, 50),
             "latency_p95": percentile(self.latencies, 95),
@@ -668,6 +674,19 @@ class InferenceEngine:
         self.flush(merge=False)
         return [self._results.pop(request_id) for request_id in ids]
 
+    def predict_wave(self, items: list[Crystal | CrystalGraph]) -> list[Prediction]:
+        """One lockstep wave of a trajectory farm; order follows inputs.
+
+        Identical to :meth:`predict_many` (exact per-tier grouping, current
+        version, nothing left queued) but counted as a wave in
+        :attr:`EngineStats.waves`/``wave_structs``, so farm throughput and
+        wave shrinkage show up in :meth:`snapshot`.
+        """
+        predictions = self.predict_many(items)
+        self.stats.waves += 1
+        self.stats.wave_structs += len(items)
+        return predictions
+
     def warm_start(self, items: list[Crystal | CrystalGraph]) -> int:
         """Seed canonical tier shapes from a known upcoming stream.
 
@@ -675,35 +694,88 @@ class InferenceEngine:
         driver, screening loops) can pre-size tier shapes the way
         :meth:`predict_many` does implicitly, so first-pass captures happen
         once per group shape instead of recompiling as canonical shapes
-        grow.  Returns the number of tiers seeded (0 on an eager engine).
+        grow.  On a ``merge_tiers`` engine the simulation also plays out
+        the adaptive cross-tier absorption a flush of this stream would
+        perform, so merged group shapes are pre-sized too.  Returns the
+        number of tier groups seeded (0 on an eager engine).
         """
         if self.compilers is None:
             return 0
-        return self._warm_start([self._graph_of(item) for item in items])
+        return self._warm_start(
+            [self._graph_of(item) for item in items], merge=self.merge_tiers
+        )
 
-    def _warm_start(self, graphs: list[CrystalGraph]) -> int:
+    def _warm_start(self, graphs: list[CrystalGraph], merge: bool = False) -> int:
         """Pre-size canonical tier shapes from the planned micro-batches.
 
-        Grouping is simulated ahead of submission (FIFO per tier, chunks of
-        ``max_batch_structs``) so every tier's canonical shape is known
-        before the first capture — one capture per tier for the whole
-        stream, exactly like the trainers' warm start.
+        Grouping is simulated ahead of submission — FIFO per tier, chunks
+        of ``max_batch_structs``, and with ``merge`` the same nearest-tier
+        tail absorption :meth:`flush` performs — so every group's canonical
+        shape is known before the first capture: one capture per group
+        shape for the whole stream, exactly like the trainers' warm start.
+
+        Merge decisions price padding against the canonical shapes this
+        very seeding creates, so with ``merge`` the simulate-and-seed loop
+        runs to a fixpoint (canonical entries only grow; in practice one
+        extra pass settles it).
+        """
+        dims_list = [
+            (g.num_atoms, g.num_edges, g.num_short_edges, g.num_angles)
+            for g in graphs
+        ]
+        seeded = 0
+        for _ in range(4):
+            entries = [self._group_entry(g) for g in self._plan_groups(dims_list, merge)]
+            before = dict(self.cache.canonical)
+            # The canonical dict is shared through the cache: seeding one
+            # compiler seeds them all.
+            seeded = self.compilers[0].warm_start(entries)
+            if not merge or dict(self.cache.canonical) == before:
+                break
+        return seeded
+
+    def _plan_groups(
+        self, dims_list: list[tuple[int, int, int, int]], merge: bool
+    ) -> list[list[tuple[int, int, int, int]]]:
+        """Simulate the groups a single-version flush of this stream makes.
+
+        Mirrors :meth:`_drain` over tiers in sorted order: full chunks of
+        ``max_batch_structs`` first, then the tier's tail — which, with
+        ``merge``, absorbs from the *remaining* queues nearest-tier-first
+        (FIFO within a tier, priced against ``merge_overhead_cap``),
+        exactly like :meth:`_merge_partial` at flush time.
         """
         queues: dict[int, list[tuple[int, int, int, int]]] = {}
-        entries: list[tuple[int, bool, tuple[int, int, int, int]]] = []
-        for g in graphs:
-            dims = (g.num_atoms, g.num_edges, g.num_short_edges, g.num_angles)
-            queue = queues.setdefault(workload_tier(dims), [])
-            queue.append(dims)
-            if len(queue) >= self.max_batch_structs:
-                entries.append(self._group_entry(queue))
-                queue.clear()
-        for queue in queues.values():
-            if queue:
-                entries.append(self._group_entry(queue))
-        # The canonical dict is shared through the cache: seeding one
-        # compiler seeds them all.
-        return self.compilers[0].warm_start(entries)
+        for dims in dims_list:
+            queues.setdefault(workload_tier(dims), []).append(dims)
+        groups: list[list[tuple[int, int, int, int]]] = []
+        for tier in sorted(queues):
+            queue = queues[tier]
+            while len(queue) >= self.max_batch_structs:
+                groups.append(queue[: self.max_batch_structs])
+                del queue[: self.max_batch_structs]
+            if not queue:
+                continue
+            group = list(queue)
+            queue.clear()
+            if merge:
+                candidates = sorted(
+                    (k for k in queues if k != tier and queues[k]),
+                    key=lambda k: (abs(k - tier), k),
+                )
+                for k in candidates:
+                    other = queues[k]
+                    while other and len(group) < self.max_batch_structs:
+                        if (
+                            self._group_overhead(group + [other[0]])
+                            > self.merge_overhead_cap
+                        ):
+                            break
+                        group.append(other.pop(0))
+                    if len(group) >= self.max_batch_structs:
+                        break
+            groups.append(group)
+        return groups
 
     @staticmethod
     def _group_entry(

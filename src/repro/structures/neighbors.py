@@ -256,6 +256,19 @@ class NeighborCache:
         self._ref_lattice: np.ndarray | None = None
         self._ref_species: np.ndarray | None = None
 
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of queries answered from the cached search."""
+        total = self.num_builds + self.num_reuses
+        return self.num_reuses / total if total else 0.0
+
+    def invalidate(self) -> None:
+        """Drop the cached search so the next query rebuilds (counters kept)."""
+        self._full = None
+        self._ref_frac = None
+        self._ref_lattice = None
+        self._ref_species = None
+
     def _needs_rebuild(self, crystal: Crystal) -> bool:
         if self._full is None or self.skin == 0.0:
             return True

@@ -1,0 +1,54 @@
+"""The trajectory-farm benchmark's smoke mode must always run end-to-end."""
+
+from __future__ import annotations
+
+import importlib.util
+import json
+import sys
+from pathlib import Path
+
+import pytest
+
+BENCH = Path(__file__).resolve().parents[1] / "benchmarks" / "bench_trajectory_farm.py"
+
+
+@pytest.fixture(scope="module")
+def bench_module():
+    spec = importlib.util.spec_from_file_location("bench_trajectory_farm", BENCH)
+    module = importlib.util.module_from_spec(spec)
+    sys.modules[spec.name] = module
+    spec.loader.exec_module(module)
+    return module
+
+
+def test_smoke_runs_end_to_end(bench_module, tmp_path):
+    out = tmp_path / "BENCH_trajectory_farm.json"
+    results = bench_module.main(["--smoke", "--out", str(out)])
+
+    assert results["mode"] == "smoke"
+    f = results["farm"]
+    # the whole point: farmed trajectories are bit-identical to the
+    # sequential eager loop at every recorded frame
+    assert f["bit_identical"] is True and results["bit_identical"] is True
+
+    # every trajectory stepped its full budget (the relax tolerance is
+    # unreachable by design, so nothing converges early in the bench)
+    assert f["structure_steps"] == f["trajectories"] * f["md_steps"]
+    assert f["waves"] == f["md_steps"] + 1  # stepping waves + initial wave
+    assert f["evaluations"] == f["structure_steps"] + f["trajectories"]
+
+    # the throughput levers actually engaged: skin caches answered most
+    # queries, angle arrays were mostly reused/diffed, programs replayed
+    assert f["neighbor_reuses"] > f["neighbor_builds"]
+    assert f["neighbor_hit_rate"] > 0.5
+    assert f["angle_incremental_rate"] > 0.5
+    assert f["program_replays"] > 0
+
+    # speed is environment-dependent; don't gate tier-1 on the 2x target,
+    # just require the farm to not be pathologically slower
+    assert f["speedup"] > 0.5
+
+    # the JSON artifact round-trips
+    on_disk = json.loads(out.read_text())
+    assert on_disk["speedup"] == results["speedup"]
+    assert on_disk["farm"]["bit_identical"] is True

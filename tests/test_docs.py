@@ -88,6 +88,7 @@ class TestDocsSuite:
             "docs/architecture.md",
             "docs/serving.md",
             "docs/fault_tolerance.md",
+            "docs/workloads.md",
             "docs/cli.md",
             "benchmarks/README.md",
         ],
@@ -107,6 +108,7 @@ class TestDocsSuite:
             "docs/architecture.md",
             "docs/serving.md",
             "docs/fault_tolerance.md",
+            "docs/workloads.md",
             "benchmarks/README.md",
         ):
             assert required in text, f"README.md lost its pointer to {required!r}"

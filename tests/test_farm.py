@@ -1,0 +1,272 @@
+"""Trajectory farm: bit-identity vs solo, retirement, incremental angles."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data.dataset import StructureDataset
+from repro.data.mptrj import LabeledStructure
+from repro.data.oracle import OraclePotential
+from repro.graph.crystal_graph import GraphDiffStats, build_graph
+from repro.md import (
+    FIREConfig,
+    MDSpec,
+    ModelCalculator,
+    RelaxSpec,
+    TrajectoryFarm,
+    run_sequential,
+)
+from repro.model import CHGNetConfig, CHGNetModel, OptLevel
+from repro.serve import InferenceEngine
+from repro.structures import NeighborCache, cscl, rocksalt
+
+
+@pytest.fixture(scope="module")
+def model():
+    config = CHGNetConfig(
+        atom_fea_dim=8,
+        bond_fea_dim=8,
+        angle_fea_dim=8,
+        num_radial=5,
+        angular_order=2,
+        hidden_dim=8,
+        opt_level=OptLevel.DECOMPOSE_FS,
+    )
+    m = CHGNetModel(config, np.random.default_rng(1))
+    rng = np.random.default_rng(7)
+    for p in m.parameters():
+        p.data += rng.normal(scale=0.05, size=p.data.shape)
+    return m
+
+
+def _engine(model, **kwargs):
+    kwargs.setdefault("n_workers", 1)
+    kwargs.setdefault("max_batch_structs", 4)
+    kwargs.setdefault("max_programs", 64)
+    return InferenceEngine(model, **kwargs)
+
+
+def _mixed_specs():
+    fire = FIREConfig(fmax=1e-4, max_steps=6)
+    c1 = cscl(11, 17).perturbed(np.random.default_rng(0), 0.05)
+    c2 = rocksalt(3, 8).perturbed(np.random.default_rng(1), 0.05)
+    return [
+        RelaxSpec(c1, fire),
+        MDSpec(c2, 5, temperature_k=250.0, seed=2, rescale_every=2),
+        MDSpec(c1, 3, temperature_k=350.0, seed=3),
+        RelaxSpec(c2, fire),
+    ]
+
+
+def _frames_equal(a, b):
+    assert a.steps == b.steps
+    assert a.converged == b.converged
+    assert len(a.frames) == len(b.frames)
+    for fa, fb in zip(a.frames, b.frames):
+        assert np.array_equal(fa.positions, fb.positions)
+        assert np.array_equal(fa.forces, fb.forces)
+        assert fa.energy == fb.energy
+
+
+class TestBitIdentity:
+    @pytest.mark.parametrize("compile", [False, True])
+    def test_farm_matches_sequential_every_frame(self, model, compile):
+        """Mixed relax/MD farm == per-trajectory eager loop, bit for bit."""
+        specs = _mixed_specs()
+        farm = TrajectoryFarm(_engine(model, compile=compile), skin=0.6, record=True)
+        for spec in specs:
+            farm.add(spec)
+        farmed = farm.run()
+        solo = run_sequential(specs, ModelCalculator(model), record=True)
+        assert len(farmed.results) == len(solo) == len(specs)
+        for f, s in zip(farmed.results, solo):
+            _frames_equal(f, s)
+        # the throughput levers engaged while staying exact
+        assert farmed.stats.neighbor_reuses > 0
+        diff = farmed.stats.diff
+        assert diff.angle_reuses + diff.angle_diffs > 0
+
+    def test_skinless_farm_also_exact(self, model):
+        specs = _mixed_specs()[:2]
+        farm = TrajectoryFarm(_engine(model), skin=0.0, record=True)
+        for spec in specs:
+            farm.add(spec)
+        farmed = farm.run()
+        solo = run_sequential(specs, ModelCalculator(model), record=True)
+        for f, s in zip(farmed.results, solo):
+            _frames_equal(f, s)
+        assert farmed.stats.neighbor_reuses == 0
+
+
+class TestRetirement:
+    def test_waves_shrink_without_reordering(self, model):
+        """Staggered MD limits retire trajectories; survivors keep order."""
+        crystals = [cscl(11, 17), rocksalt(3, 8), cscl(19, 35)]
+        farm = TrajectoryFarm(_engine(model), skin=0.6)
+        for i, (c, n) in enumerate(zip(crystals, (2, 4, 6))):
+            farm.add(MDSpec(c, n, seed=i))
+        result = farm.run()
+        stats = result.stats
+        # initial wave of 3, then live counts per stepping wave
+        assert stats.wave_sizes == [3, 3, 3, 2, 2, 1, 1]
+        assert stats.waves == 7
+        assert stats.structure_steps == 2 + 4 + 6
+        assert stats.retired == 3
+        # results stay in submission order with each spec's own step count
+        assert [r.index for r in result.results] == [0, 1, 2]
+        assert [r.steps for r in result.results] == [2, 4, 6]
+        assert all(r.converged for r in result.results)
+
+    def test_zero_step_md_retires_at_wave_zero(self, model):
+        farm = TrajectoryFarm(_engine(model))
+        farm.add(MDSpec(cscl(11, 17), 0))
+        farm.add(MDSpec(rocksalt(3, 8), 2, seed=1))
+        result = farm.run()
+        assert result.stats.wave_sizes == [2, 1, 1]
+        assert result.results[0].steps == 0
+        assert result.stats.retired == 2
+
+    def test_max_waves_bounds_stepping(self, model):
+        farm = TrajectoryFarm(_engine(model))
+        farm.add(MDSpec(cscl(11, 17), 50, seed=1))
+        result = farm.run(max_waves=3)
+        assert result.results[0].steps == 3
+        assert not result.results[0].converged
+
+    def test_farm_runs_once(self, model):
+        farm = TrajectoryFarm(_engine(model))
+        farm.add(MDSpec(cscl(11, 17), 1, seed=1))
+        farm.run()
+        with pytest.raises(RuntimeError):
+            farm.run()
+        with pytest.raises(RuntimeError):
+            farm.add(MDSpec(cscl(11, 17), 1))
+
+    def test_validation(self, model):
+        engine = _engine(model)
+        with pytest.raises(ValueError):
+            TrajectoryFarm(engine, skin=-0.1)
+        with pytest.raises(ValueError):
+            TrajectoryFarm(engine).run()  # empty farm
+        farm = TrajectoryFarm(engine)
+        with pytest.raises(ValueError):
+            farm.add(MDSpec(cscl(11, 17), -1))
+        with pytest.raises(ValueError):
+            farm.add(MDSpec(cscl(11, 17), 5, rescale_every=-1))
+        with pytest.raises(TypeError):
+            farm.add("not a spec")
+
+    def test_engine_wave_stats(self, model):
+        engine = _engine(model)
+        farm = TrajectoryFarm(engine, skin=0.6)
+        farm.add(MDSpec(cscl(11, 17), 2, seed=1))
+        farm.add(MDSpec(rocksalt(3, 8), 2, seed=2))
+        result = farm.run()
+        snap = engine.snapshot()
+        assert snap["waves"] == result.stats.waves == 3
+        assert snap["wave_structs"] == result.stats.evaluations == 6
+
+
+class TestIncrementalAngles:
+    @given(
+        seeds=st.lists(st.integers(0, 2**16), min_size=2, max_size=5),
+        sigma=st.sampled_from([0.02, 0.08, 0.2]),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_bit_identical_to_full_rebuild(self, seeds, sigma):
+        """Random walks (short-edge membership flips included) through a
+        shared skin cache with angle diffing == fresh full builds."""
+        cache = NeighborCache(6.0, 0.6)
+        stats = GraphDiffStats()
+        prev = None
+        crystal = rocksalt(3, 8)
+        for seed in seeds:
+            crystal = crystal.perturbed(np.random.default_rng(seed), sigma)
+            got = build_graph(
+                crystal, 6.0, 3.0, nl=cache.query(crystal), prev=prev, diff_stats=stats
+            )
+            want = build_graph(crystal, 6.0, 3.0)
+            for name in (
+                "edge_src",
+                "edge_dst",
+                "edge_image",
+                "short_idx",
+                "angle_e1",
+                "angle_e2",
+                "angle_center",
+            ):
+                assert np.array_equal(getattr(got, name), getattr(want, name))
+            prev = got
+        assert (
+            stats.angle_reuses + stats.angle_diffs + stats.angle_rebuilds == len(seeds)
+        )
+
+    def test_diff_path_actually_taken(self):
+        """A displacement large enough to flip membership exercises the diff
+        branch (not just whole-array reuse), still bit-identical."""
+        crystal = rocksalt(3, 8)
+        cache = NeighborCache(6.0, 1.2)
+        stats = GraphDiffStats()
+        prev = build_graph(
+            crystal, 6.0, 3.0, nl=cache.query(crystal), prev=None, diff_stats=stats
+        )
+        moved = crystal.perturbed(np.random.default_rng(4), 0.25)
+        got = build_graph(
+            moved, 6.0, 3.0, nl=cache.query(moved), prev=prev, diff_stats=stats
+        )
+        want = build_graph(moved, 6.0, 3.0)
+        assert np.array_equal(got.angle_e1, want.angle_e1)
+        assert np.array_equal(got.angle_e2, want.angle_e2)
+        assert np.array_equal(got.angle_center, want.angle_center)
+        assert stats.angle_diffs + stats.angle_reuses >= 1
+
+
+class TestDatasetSkin:
+    @staticmethod
+    def _trajectory_entries(n: int = 8):
+        """Same-lattice drifting frames (what an MD/relax dump looks like)."""
+        oracle = OraclePotential()
+        crystal = cscl(11, 17)
+        rng = np.random.default_rng(11)
+        entries = []
+        for _ in range(n):
+            entries.append(LabeledStructure(crystal, oracle.label(crystal)))
+            crystal = crystal.perturbed(rng, 0.01)
+        return entries
+
+    def test_skin_graphs_bit_identical(self):
+        entries = self._trajectory_entries()
+        plain = StructureDataset(entries, cutoff_atom=5.0, cutoff_bond=3.0)
+        skinned = StructureDataset(entries, cutoff_atom=5.0, cutoff_bond=3.0, skin=0.8)
+        for a, b in zip(plain.graphs, skinned.graphs):
+            assert np.array_equal(a.edge_src, b.edge_src)
+            assert np.array_equal(a.edge_dst, b.edge_dst)
+            assert np.array_equal(a.edge_image, b.edge_image)
+            assert np.array_equal(a.short_idx, b.short_idx)
+            assert np.array_equal(a.angle_e1, b.angle_e1)
+            assert np.array_equal(a.angle_e2, b.angle_e2)
+            assert np.array_equal(a.angle_center, b.angle_center)
+        # one pair search served the whole trajectory
+        assert skinned.neighbor_builds == 1
+        assert skinned.neighbor_reuses == len(entries) - 1
+        stats = skinned.graph_diff_stats
+        assert stats.angle_reuses + stats.angle_diffs == len(entries) - 1
+        assert plain.neighbor_builds == plain.neighbor_reuses == 0
+
+    def test_subset_carries_skin_counters(self):
+        entries = self._trajectory_entries(4)
+        ds = StructureDataset(entries, skin=0.8)
+        sub = ds.subset(np.array([0, 2]))
+        assert sub.skin == 0.8
+        assert sub.neighbor_builds == ds.neighbor_builds
+        assert len(sub) == 2
+
+    def test_skin_validation(self):
+        entries = self._trajectory_entries(2)
+        with pytest.raises(ValueError):
+            StructureDataset(entries, skin=-0.5)
+        with pytest.raises(ValueError):
+            StructureDataset(entries, skin=0.5, n_workers=2)

@@ -1,0 +1,192 @@
+"""FIRE relaxation: convergence, trust radius, config validation, batched skin."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.md import (
+    FIRE,
+    FIREConfig,
+    ModelCalculator,
+    OracleCalculator,
+    max_force_norm,
+)
+from repro.md.calculator import CalcResult
+from repro.model import CHGNetConfig, CHGNetModel, OptLevel
+from repro.structures import cscl, named_structures, rocksalt
+
+
+@pytest.fixture(scope="module")
+def oracle():
+    return OracleCalculator()
+
+
+class TestConfigValidation:
+    def test_defaults_valid(self):
+        FIREConfig().validate()
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"fmax": 0.0},
+            {"fmax": -0.1},
+            {"max_steps": -1},
+            {"timestep_fs": 0.0},
+            {"timestep_fs": 3.0},  # above max_timestep_fs
+            {"min_timestep_fs": 0.0},
+            {"min_timestep_fs": 1.0},  # above timestep_fs
+            {"f_inc": 1.0},
+            {"f_dec": 0.0},
+            {"f_dec": 1.0},
+            {"alpha_start": 0.0},
+            {"alpha_start": 1.0},
+            {"f_alpha": 0.0},
+            {"f_alpha": 1.5},
+        ],
+    )
+    def test_bad_values_raise(self, kwargs):
+        with pytest.raises(ValueError):
+            FIREConfig(**kwargs).validate()
+
+    def test_driver_validates_on_construction(self):
+        with pytest.raises(ValueError):
+            FIRE(FIREConfig(fmax=-1.0))
+
+
+class TestConvergence:
+    @pytest.mark.parametrize("name", ["LiMnO2", "LiTiPO5"])
+    def test_perturbed_prototype_relaxes(self, oracle, name):
+        """FIRE drives the max force norm below tolerance and lowers energy."""
+        crystal = named_structures()[name].perturbed(np.random.default_rng(3), 0.08)
+        start = oracle.calculate(crystal)
+        result = FIRE(FIREConfig(fmax=0.15, max_steps=400)).relax(crystal, oracle)
+        assert result.converged
+        assert result.state.fmax <= 0.15
+        assert max_force_norm(start.forces) > 0.15  # actually had work to do
+        assert result.state.potential_energy < start.energy
+        assert result.n_steps == result.state.n_steps > 0
+        # records cover step 0 through the final step, in order
+        assert [r.step for r in result.records] == list(range(result.n_steps + 1))
+
+    def test_already_relaxed_costs_one_evaluation(self, oracle):
+        crystal = cscl(11, 17).perturbed(np.random.default_rng(1), 0.05)
+        first = FIRE(FIREConfig(fmax=0.2, max_steps=400)).relax(crystal, oracle)
+        assert first.converged
+        again = FIRE(FIREConfig(fmax=0.2, max_steps=400)).relax(first.crystal, oracle)
+        assert again.converged and again.n_steps == 0
+        assert len(again.records) == 1
+
+    def test_max_steps_bounds_run(self, oracle):
+        crystal = rocksalt(3, 8).perturbed(np.random.default_rng(2), 0.1)
+        result = FIRE(FIREConfig(fmax=1e-9, max_steps=4)).relax(crystal, oracle)
+        assert not result.converged
+        assert result.n_steps == 4
+
+    def test_observer_called_every_step(self, oracle):
+        crystal = rocksalt(3, 8).perturbed(np.random.default_rng(2), 0.1)
+        seen = []
+        result = FIRE(FIREConfig(fmax=1e-9, max_steps=5)).relax(
+            crystal, oracle, observer=seen.append
+        )
+        assert len(seen) == result.n_steps
+        assert seen[-1] is result.state
+
+
+class TestTrustRadius:
+    def test_drift_clamped_to_max_step(self):
+        """Huge forces: the drift's longest displacement lands on max_step."""
+        crystal = cscl(11, 17)
+        driver = FIRE(FIREConfig(max_step=0.05))
+        forces = np.zeros((crystal.num_atoms, 3))
+        forces[0] = (5000.0, 0.0, 0.0)  # would fling atom 0 far past 0.05 A
+        state = driver.init_state(crystal, CalcResult(0.0, forces, np.zeros((3, 3))))
+        moved, _ = driver.begin_step(state)
+        disp = np.linalg.norm(moved.cart_coords - crystal.cart_coords, axis=1)
+        assert np.isclose(disp.max(), 0.05)
+
+    def test_small_drift_not_rescaled(self):
+        crystal = cscl(11, 17)
+        driver = FIRE(FIREConfig(max_step=10.0))
+        forces = np.full((crystal.num_atoms, 3), 0.01)
+        state = driver.init_state(crystal, CalcResult(0.0, forces, np.zeros((3, 3))))
+        moved, v_half = driver.begin_step(state)
+        # unclamped drift is exactly dt * v_half
+        expect = crystal.cart_coords + state.dt * v_half
+        assert np.array_equal(moved.cart_coords, expect)
+
+    def test_uphill_step_resets(self):
+        """P <= 0 zeroes velocities, shrinks dt and resets alpha/n_pos."""
+        crystal = cscl(11, 17)
+        cfg = FIREConfig()
+        driver = FIRE(cfg)
+        forces = np.full((crystal.num_atoms, 3), 0.5)
+        state = driver.init_state(crystal, CalcResult(0.0, forces, np.zeros((3, 3))))
+        state.n_pos = 7
+        state.alpha = 0.01
+        moved, v_half = driver.begin_step(state)
+        # fresh forces exactly opposing the half-step velocity: P < 0
+        new = driver.finish_step(
+            state, moved, v_half, CalcResult(1.0, -v_half, np.zeros((3, 3)))
+        )
+        assert np.array_equal(new.velocities, np.zeros_like(v_half))
+        assert new.dt == pytest.approx(cfg.timestep_fs * cfg.f_dec)
+        assert new.alpha == cfg.alpha_start
+        assert new.n_pos == 0
+
+
+def _tiny_model() -> CHGNetModel:
+    config = CHGNetConfig(
+        atom_fea_dim=8,
+        bond_fea_dim=8,
+        angle_fea_dim=8,
+        num_radial=5,
+        angular_order=2,
+        hidden_dim=8,
+        opt_level=OptLevel.DECOMPOSE_FS,
+    )
+    model = CHGNetModel(config, np.random.default_rng(1))
+    rng = np.random.default_rng(7)
+    for p in model.parameters():
+        p.data += rng.normal(scale=0.05, size=p.data.shape)
+    return model
+
+
+class TestCalculateManySkin:
+    def test_batched_skin_matches_solo_bitwise(self):
+        """calculate_many with skin > 0 threads per-slot caches to the engine
+        and stays bit-identical to per-structure calculate without any skin."""
+        model = _tiny_model()
+        batched = ModelCalculator(model, skin=0.8)
+        solo = ModelCalculator(model)
+        # three frames per slot, each drifting well inside skin/2
+        bases = [cscl(11, 17), rocksalt(3, 8)]
+        rng = np.random.default_rng(5)
+        for _ in range(3):
+            frames = [c.perturbed(rng, 0.01) for c in bases]
+            bases = frames
+            got = batched.calculate_many(frames, batch_structs=2)
+            want = [solo.calculate(c) for c in frames]
+            for g, w in zip(got, want):
+                assert g.energy == w.energy
+                assert np.array_equal(g.forces, w.forces)
+                assert np.array_equal(g.stress, w.stress)
+                assert np.array_equal(g.magmom, w.magmom)
+        # the skin caches actually engaged: one build per slot, reuses after
+        assert len(batched._many_caches) == 2
+        assert all(c.num_builds == 1 for c in batched._many_caches)
+        assert all(c.num_reuses == 2 for c in batched._many_caches)
+        assert (
+            batched.diff_stats.angle_reuses + batched.diff_stats.angle_diffs > 0
+        )
+
+    def test_solo_calculate_reuses_skin_cache(self):
+        model = _tiny_model()
+        calc = ModelCalculator(model, skin=0.8)
+        crystal = cscl(11, 17)
+        rng = np.random.default_rng(9)
+        for _ in range(3):
+            calc.calculate(crystal)
+            crystal = crystal.perturbed(rng, 0.01)
+        assert calc._cache.num_builds == 1
+        assert calc._cache.num_reuses == 2

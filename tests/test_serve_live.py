@@ -452,3 +452,64 @@ class TestCollateMemoization:
             InferenceEngine(model, merge_overhead_cap=-0.1)
         with pytest.raises(ValueError):
             InferenceEngine(model, max_versions=0)
+
+
+class TestMergeAwareWarmStart:
+    @pytest.fixture(scope="class")
+    def wide_pool(self):
+        """60 distinct structures: diverse tiers with partial tails to merge."""
+        entries = generate_mptrj(60, seed=9, max_atoms=12)
+        return [
+            build_graph(e.crystal, CFG.cutoff_atom, CFG.cutoff_bond) for e in entries
+        ]
+
+    def test_warm_start_seeds_merged_group_shapes(self, wide_pool):
+        """warm_start on a merging engine simulates the drain's merge-aware
+        grouping, so the mixed-tier shapes a flush will form are pre-sized:
+        fewer live captures, more replays, same bits."""
+        model = _fresh_model()
+
+        def serve(warm: bool):
+            engine = InferenceEngine(
+                model,
+                n_workers=1,
+                compile=True,
+                max_batch_structs=4,
+                merge_tiers=True,
+                max_programs=128,
+            )
+            seeded = engine.warm_start(wide_pool) if warm else 0
+            ids = [engine.submit(g, now=0.0) for g in wide_pool]
+            engine.flush(now=0.0)
+            preds = [engine.poll(i) for i in ids]
+            snap = engine.snapshot()
+            return preds, seeded, snap
+
+        cold_preds, _, cold = serve(warm=False)
+        warm_preds, seeded, warm = serve(warm=True)
+        assert seeded > 0  # the simulation actually planned merged groups
+        # identical grouping either way; seeding converts captures to replays
+        assert warm["batches"] == cold["batches"]
+        assert warm["merges"] == cold["merges"] > 0
+        assert warm["captures"] < cold["captures"]
+        assert warm["replays"] > cold["replays"]
+        base = _solo_eager(model, wide_pool)
+        assert all(_equal(a, b) for a, b in zip(cold_preds, base))
+        assert all(_equal(a, b) for a, b in zip(warm_preds, base))
+
+    def test_non_merging_warm_start_foresees_every_group(self, wide_pool):
+        """merge_tiers=False: explicit warm_start plans the exact per-tier
+        groups predict_many will form — one capture per seeded group shape,
+        nothing learned live."""
+        model = _fresh_model()
+        engine = InferenceEngine(
+            model, n_workers=1, compile=True, max_batch_structs=4, max_programs=128
+        )
+        seeded = engine.warm_start(wide_pool)
+        assert seeded > 0
+        preds = engine.predict_many(wide_pool)
+        snap = engine.snapshot()
+        assert snap["captures"] == seeded  # every group shape was foreseen
+        assert snap["replays"] > 0
+        base = _solo_eager(model, wide_pool)
+        assert all(_equal(a, b) for a, b in zip(preds, base))
