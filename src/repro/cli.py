@@ -224,6 +224,38 @@ def _add_farm(sub: argparse._SubParsersAction) -> None:
         help="also run the sequential per-trajectory eager loop and report the "
         "structure-steps/s speedup plus a per-frame bitwise equality check",
     )
+    p.add_argument(
+        "--state",
+        default="",
+        metavar="PATH",
+        help="checkpoint the farm's full per-trajectory state (RCKPT1 "
+        "atomic-CRC format) to this path at wave boundaries; a crashed run "
+        "restarted with --resume finishes bit-identical to an uninterrupted "
+        "one",
+    )
+    p.add_argument(
+        "--checkpoint-every",
+        type=int,
+        default=1,
+        metavar="N",
+        help="checkpoint every N stepping waves (with --state); a crash "
+        "loses at most N waves of work",
+    )
+    p.add_argument(
+        "--resume",
+        action="store_true",
+        help="resume a farm from the --state checkpoint instead of starting "
+        "fresh; the initial wave is skipped (its evaluation is already "
+        "folded into the restored states)",
+    )
+    p.add_argument(
+        "--max-waves",
+        type=int,
+        default=0,
+        metavar="K",
+        help="stop after K stepping waves (0: run to completion); with "
+        "--state this simulates a kill-at-wave-K crash to resume from",
+    )
 
 
 def _add_serve(sub: argparse._SubParsersAction) -> None:
@@ -289,6 +321,48 @@ def _add_serve(sub: argparse._SubParsersAction) -> None:
         help="engine-side collate memoization: LRU of N collated "
         "micro-batches keyed by member-graph identity (0: off), so "
         "recurring request pools bind-and-replay with zero re-concatenation",
+    )
+    p.add_argument(
+        "--inject-worker-fault",
+        action="append",
+        default=[],
+        metavar="SPEC",
+        help="inject a worker fault at dispatch time: kill:WORKER:DISPATCH "
+        "(permanent death, discovered on dispatch and retried on "
+        "survivors), flake:WORKER:DISPATCH[:COUNT] (transient failures, "
+        "recovered after COUNT), or straggle:WORKER:SECONDS[:START[:STOP]] "
+        "(virtual service-time skew); repeatable, duplicates rejected",
+    )
+    p.add_argument(
+        "--hedge",
+        action="store_true",
+        help="duplicate batches stuck behind a straggling worker onto the "
+        "idlest healthy worker and keep the first completion (safe: "
+        "replays are bit-identical)",
+    )
+    p.add_argument(
+        "--deadline",
+        type=float,
+        default=0.0,
+        metavar="SECONDS",
+        help="per-request deadline on the virtual clock (0: none); a "
+        "request still queued past it is shed with DeadlineExceeded "
+        "instead of burning worker time (drives the async queue)",
+    )
+    p.add_argument(
+        "--max-retries",
+        type=int,
+        default=2,
+        metavar="N",
+        help="re-dispatches a request may consume after worker failures "
+        "before it is shed with a terminal WorkerFailure",
+    )
+    p.add_argument(
+        "--replace-workers",
+        action="store_true",
+        help="replace a worker discovered dead with a fresh replica on the "
+        "shared program cache (elastic serving, mirroring train "
+        "--inject-fault recovery) instead of draining it permanently",
     )
 
 
@@ -573,6 +647,12 @@ def cmd_farm(args: argparse.Namespace) -> int:
 
     if not 0 <= args.md_fraction <= 1:
         raise SystemExit(f"--md-fraction must lie in [0, 1], got {args.md_fraction}")
+    if args.resume and not args.state:
+        raise SystemExit("--resume requires --state (the checkpoint to resume from)")
+    if args.checkpoint_every < 1:
+        raise SystemExit(
+            f"--checkpoint-every must be >= 1, got {args.checkpoint_every}"
+        )
     rng = np.random.default_rng(args.seed)
     if args.variant == "chgnet":
         model = CHGNet(rng)
@@ -613,11 +693,19 @@ def cmd_farm(args: argparse.Namespace) -> int:
         max_batch_structs=args.batch_structs,
         max_programs=256,
     )
-    farm = TrajectoryFarm(engine, skin=args.skin, record=args.baseline)
-    for spec in specs:
-        farm.add(spec)
+    if args.resume:
+        farm = TrajectoryFarm.resume(args.state, engine)
+        print(f"resumed {len(farm)} trajectories from {args.state}")
+    else:
+        farm = TrajectoryFarm(engine, skin=args.skin, record=args.baseline)
+        for spec in specs:
+            farm.add(spec)
     t0 = time.perf_counter()
-    result = farm.run()
+    result = farm.run(
+        max_waves=args.max_waves or None,
+        checkpoint_path=args.state or None,
+        checkpoint_every=args.checkpoint_every,
+    )
     wall = time.perf_counter() - t0
     stats = result.stats
     n_relax = args.trajectories - n_md
@@ -632,6 +720,8 @@ def cmd_farm(args: argparse.Namespace) -> int:
         f"  {stats.waves} waves (sizes {stats.wave_sizes[0]} -> {stats.wave_sizes[-1]}), "
         f"{stats.evaluations} evaluations, {converged}/{n_relax} relaxations converged"
     )
+    if args.state:
+        print(f"  farm state checkpointed to {args.state} (RCKPT1, resumable)")
     print(
         f"  neighbor cache: {stats.neighbor_builds} builds / "
         f"{stats.neighbor_reuses} reuses; angle arrays: "
@@ -677,7 +767,23 @@ def cmd_serve(args: argparse.Namespace) -> int:
     from repro.data import generate_mptrj
     from repro.graph.crystal_graph import build_graph
     from repro.model import CHGNet, FastCHGNet
-    from repro.serve import InferenceEngine
+    from repro.serve import (
+        DeadlineExceeded,
+        InferenceEngine,
+        WorkerFailure,
+        WorkerFaultPlan,
+    )
+
+    fault_plan = None
+    if args.inject_worker_fault:
+        try:
+            fault_plan = WorkerFaultPlan.parse(args.inject_worker_fault)
+        except ValueError as exc:
+            raise SystemExit(f"--inject-worker-fault: {exc}")
+    if args.max_retries < 0:
+        raise SystemExit(f"--max-retries must be non-negative, got {args.max_retries}")
+    if args.deadline < 0:
+        raise SystemExit(f"--deadline must be non-negative, got {args.deadline}")
 
     rng = np.random.default_rng(args.seed)
     if args.variant == "chgnet":
@@ -703,10 +809,14 @@ def cmd_serve(args: argparse.Namespace) -> int:
         max_batch_structs=args.batch_structs,
         merge_tiers=args.merge_tiers,
         memoize=args.memoize,
+        fault_plan=fault_plan,
+        max_retries=args.max_retries,
+        hedge=args.hedge,
+        replace_workers=args.replace_workers,
     )
     # The async submit/poll queue exercises deadlines, tier merging and
     # mid-stream publishes; the synchronous path packs full per-tier groups.
-    use_queue = args.publish_every > 0 or args.merge_tiers
+    use_queue = args.publish_every > 0 or args.merge_tiers or args.deadline > 0
 
     def _drive_queue(stream):
         dt = engine.max_wait / 4  # a handful of arrivals per deadline window
@@ -719,9 +829,21 @@ def cmd_serve(args: argparse.Namespace) -> int:
                 # snapshotting unchanged weights still proves the swap is
                 # recapture-free (and keeps --baseline comparable).
                 engine.publish_weights()
-            ids.append(engine.submit(graph, now=start + i * dt))
+            ids.append(
+                engine.submit(
+                    graph, now=start + i * dt, deadline=args.deadline or None
+                )
+            )
         engine.flush()
-        return [engine.poll(request_id) for request_id in ids]
+        out = []
+        for request_id in ids:
+            # Shed requests (missed deadline, every retry failed) surface
+            # as typed errors; keep the stream aligned with None markers.
+            try:
+                out.append(engine.poll(request_id))
+            except (DeadlineExceeded, WorkerFailure):
+                out.append(None)
+        return out
 
     best_wall = float("inf")
     captures_cold = None
@@ -730,10 +852,11 @@ def cmd_serve(args: argparse.Namespace) -> int:
         preds = _drive_queue(stream) if use_queue else engine.predict_many(stream)
         wall = time.perf_counter() - t0
         best_wall = min(best_wall, wall)
+        served = sum(p is not None for p in preds)
         label = "cold" if rep == 0 else "warm"
         print(
-            f"pass {rep + 1} ({label}): {len(preds)} requests in {wall:.3f}s "
-            f"({len(preds) / wall:.1f} structs/s)"
+            f"pass {rep + 1} ({label}): {served}/{len(preds)} requests in "
+            f"{wall:.3f}s ({served / wall:.1f} structs/s)"
         )
         if rep == 0 and args.compile:
             captures_cold = engine.snapshot()["captures"]
@@ -764,6 +887,15 @@ def cmd_serve(args: argparse.Namespace) -> int:
             f"collate memoization: {snap['collate_hits']} hits / "
             f"{snap['collate_misses']} misses"
         )
+    if fault_plan is not None or args.hedge or args.deadline:
+        print(
+            f"fault tolerance: {snap['worker_failures']} worker failures, "
+            f"{snap['retries']} retries, {snap['worker_replacements']} "
+            f"replacements, {snap['hedges']} hedges ({snap['hedge_wins']} "
+            f"won), {snap['deadline_misses']} deadline misses"
+        )
+        if fault_plan is not None and fault_plan.unfired():
+            print(f"  warning: planned faults never fired: {fault_plan.unfired()}")
     print(
         f"modeled latency p50 {snap['latency_p50'] * 1e3:.1f} ms, "
         f"p95 {snap['latency_p95'] * 1e3:.1f} ms"
@@ -785,6 +917,7 @@ def cmd_serve(args: argparse.Namespace) -> int:
             and np.array_equal(a.stress, b.stress)
             and np.array_equal(a.magmom, b.magmom)
             for a, b in zip(preds, base)
+            if a is not None  # shed requests have no bits to compare
         )
         print(
             f"eager per-request baseline: {len(base) / base_wall:.1f} structs/s "

@@ -67,6 +67,8 @@ class FaultPlan:
         self._kills: dict[int, list[int]] = {}
         self._timeouts: dict[int, int] = {}
         self._skews: list[tuple[int, float, int, int | None]] = []
+        self._timeouts_fired: dict[int, int] = {}
+        self._skews_fired: set[int] = set()
 
     # -------------------------------------------------------------- builders
     def kill(self, rank: int, step: int) -> "FaultPlan":
@@ -123,12 +125,44 @@ class FaultPlan:
         return self._timeouts.get(step, 0)
 
     def skew(self, rank: int, step: int) -> float:
-        """Total virtual straggler seconds for ``rank`` at ``step``."""
-        return sum(
-            seconds
-            for r, seconds, start, stop in self._skews
-            if r == rank and start <= step and (stop is None or step < stop)
-        )
+        """Total virtual straggler seconds for ``rank`` at ``step``.
+
+        Windows that contribute are marked fired (see :meth:`unfired`).
+        """
+        total = 0.0
+        for i, (r, seconds, start, stop) in enumerate(self._skews):
+            if r == rank and start <= step and (stop is None or step < stop):
+                total += seconds
+                self._skews_fired.add(i)
+        return total
+
+    def note_timeout(self, step: int) -> None:
+        """Record one injected timeout at ``step`` (for :meth:`unfired`)."""
+        self._timeouts_fired[step] = self._timeouts_fired.get(step, 0) + 1
+
+    def unfired(self) -> list[str]:
+        """Canonical specs of planned faults that have not fired yet.
+
+        Kills are consumed by :meth:`take_kills`, timeouts are recorded via
+        :meth:`note_timeout` and straggler windows are marked the first
+        time :meth:`skew` samples them — so a test that planned faults can
+        assert ``plan.unfired() == []`` to prove every fault actually
+        landed instead of silently scheduling past the end of the run.
+        """
+        specs = [
+            f"kill:{rank}:{step}"
+            for step in sorted(self._kills)
+            for rank in self._kills[step]
+        ]
+        for step in sorted(self._timeouts):
+            remaining = self._timeouts[step] - self._timeouts_fired.get(step, 0)
+            if remaining > 0:
+                specs.append(f"timeout:{step}:{remaining}")
+        for i, (rank, seconds, start, stop) in enumerate(self._skews):
+            if i not in self._skews_fired:
+                window = f":{start}" + (f":{stop}" if stop is not None else "")
+                specs.append(f"straggle:{rank}:{seconds}{window if window != ':0' else ''}")
+        return specs
 
     # ---------------------------------------------------------- constructors
     @classmethod
@@ -140,9 +174,21 @@ class FaultPlan:
             kill:RANK:STEP
             timeout:STEP[:ATTEMPTS]
             straggle:RANK:SECONDS[:START[:STOP]]
+
+        Malformed specs and duplicates raise ``ValueError`` naming the
+        offending spec string — a typo'd fault plan should fail the run
+        immediately, not silently rehearse a different failure.
         """
         plan = cls()
+        seen: set[str] = set()
         for spec in specs:
+            normalized = spec.strip()
+            if normalized in seen:
+                raise ValueError(
+                    f"duplicate fault spec {spec!r}: each fault may be "
+                    "specified only once"
+                )
+            seen.add(normalized)
             parts = spec.split(":")
             kind = parts[0]
             try:
@@ -249,6 +295,7 @@ class FaultyCommunicator:
         used = self._timeout_used.get(self.step, 0)
         if used < budget:
             self._timeout_used[self.step] = used + 1
+            self.plan.note_timeout(self.step)
             self.timeouts_injected += 1
             raise CollectiveTimeout(self.step, used + 1)
 

@@ -21,11 +21,23 @@ baseline :func:`run_sequential`, skin-cached neighbor lists and
 angle diffs are exact, and served predictions are bit-identical to solo
 eager inference (the engine's row-stable kernel contract) — so farmed
 trajectories match solo ones to the bit at every step.
+
+Crash resumability: a farm can :meth:`~TrajectoryFarm.checkpoint` itself at
+any wave boundary onto the trainers' ``RCKPT1`` atomic-CRC format
+(:mod:`repro.train.checkpoint`), persisting every trajectory's positions,
+velocities, forces, energy and FIRE control state bit-losslessly (arrays in
+the npz payload; scalar floats through JSON, whose shortest-repr encoding
+round-trips float64 exactly).  :meth:`~TrajectoryFarm.resume` rebuilds the
+farm and continues; because every step is a pure function of the carried
+state (MD seeds are consumed entirely at wave 0, the thermostat is
+deterministic, and fresh skin caches are exact by contract), a
+kill-at-wave-k + resume finishes **bit-identical** to the uninterrupted
+run.  Only cache/diff telemetry restarts on resume.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, fields
 
 import numpy as np
 
@@ -37,9 +49,11 @@ from repro.md.integrator import (
     maxwell_boltzmann_velocities,
     rescale_to_temperature,
 )
-from repro.md.relax import FIRE, FIREConfig, max_force_norm
+from repro.md.relax import FIRE, FIREConfig, FIREState, max_force_norm
 from repro.structures.crystal import Crystal
+from repro.structures.lattice import Lattice
 from repro.structures.neighbors import NeighborCache
+from repro.train.checkpoint import CheckpointError, load_checkpoint, save_checkpoint
 
 
 @dataclass(frozen=True)
@@ -248,6 +262,7 @@ class TrajectoryFarm:
         self._caches: list[NeighborCache] = []
         self._prev: list[CrystalGraph | None] = []
         self._started = False
+        self._resumed = False
 
     def add(self, spec: RelaxSpec | MDSpec) -> int:
         """Register one trajectory; returns its index (= result position)."""
@@ -296,26 +311,45 @@ class TrajectoryFarm:
             for p in predictions
         ]
 
-    def run(self, max_waves: int | None = None) -> FarmResult:
+    def run(
+        self,
+        max_waves: int | None = None,
+        checkpoint_path: str | None = None,
+        checkpoint_every: int = 1,
+    ) -> FarmResult:
         """Drive every trajectory to completion; results in submission order.
 
-        Wave 0 evaluates all starting crystals; each following wave steps
-        every live trajectory once and retires the finished ones (list
-        order preserved among survivors).  ``max_waves`` bounds the number
-        of *stepping* waves (``None`` = run to completion).
+        Wave 0 evaluates all starting crystals (skipped on a farm built by
+        :meth:`resume` — that evaluation is already folded into the
+        restored states); each following wave steps every live trajectory
+        once and retires the finished ones (list order preserved among
+        survivors).  ``max_waves`` bounds the number of *stepping* waves
+        (``None`` = run to completion).
+
+        With ``checkpoint_path`` the farm checkpoints itself after the
+        initial wave, after every ``checkpoint_every`` stepping waves, and
+        at completion — so a crash loses at most ``checkpoint_every``
+        waves of work, and the resumed run finishes bit-identical to an
+        uninterrupted one.
         """
         if self._started:
             raise RuntimeError("farm already run; build a new one")
         if not self._trajectories:
             raise ValueError("farm has no trajectories")
+        if checkpoint_every < 1:
+            raise ValueError(f"checkpoint_every must be >= 1, got {checkpoint_every}")
         self._started = True
         trajectories = self._trajectories
-        for trajectory, result in zip(
-            trajectories, self._wave(trajectories, [t.spec.crystal for t in trajectories])
-        ):
-            trajectory.start(result)
+        if not self._resumed:
+            for trajectory, result in zip(
+                trajectories,
+                self._wave(trajectories, [t.spec.crystal for t in trajectories]),
+            ):
+                trajectory.start(result)
+            self.stats.retired += sum(t.done for t in trajectories)
+            if checkpoint_path is not None:
+                self.checkpoint(checkpoint_path)
         live = [t for t in trajectories if not t.done]
-        self.stats.retired += len(trajectories) - len(live)
         waves = 0
         while live and (max_waves is None or waves < max_waves):
             crystals = [t.begin() for t in live]
@@ -326,12 +360,164 @@ class TrajectoryFarm:
             survivors = [t for t in live if not t.done]
             self.stats.retired += len(live) - len(survivors)
             live = survivors
+            if checkpoint_path is not None and waves % checkpoint_every == 0:
+                self.checkpoint(checkpoint_path)
+        if checkpoint_path is not None and waves % checkpoint_every != 0:
+            self.checkpoint(checkpoint_path)
         for cache in self._caches:
             self.stats.neighbor_builds += cache.num_builds
             self.stats.neighbor_reuses += cache.num_reuses
         return FarmResult(
             results=[t.result() for t in trajectories], stats=self.stats
         )
+
+    # ------------------------------------------------------- crash resumption
+    def checkpoint(self, path: str) -> None:
+        """Atomically persist the farm's full state at a wave boundary.
+
+        Writes the trainers' ``RCKPT1`` atomic-CRC format
+        (:func:`repro.train.checkpoint.save_checkpoint`): per-trajectory
+        positions/velocities/forces as lossless npz arrays, scalar state
+        (energies, FIRE timestep/mixing, step counters) through JSON whose
+        shortest-repr float encoding round-trips float64 bit-exactly.
+        Recorded frames are persisted too, so a resumed recording farm
+        reproduces the uninterrupted frame history.  Raises
+        ``RuntimeError`` before the initial wave (nothing consistent to
+        save yet) or while a step is half-staged.
+        """
+        trajectories = self._trajectories
+        if not self._started or any(t.state is None for t in trajectories):
+            raise RuntimeError("nothing to checkpoint before the initial wave")
+        if any(t._staged is not None for t in trajectories):
+            raise RuntimeError("cannot checkpoint mid-step; wave boundaries only")
+        arrays: dict[str, np.ndarray] = {}
+        traj_meta = []
+        for t in trajectories:
+            state = t.state
+            prefix = f"t{t.index}_"
+            arrays[prefix + "lattice"] = state.crystal.lattice.matrix
+            arrays[prefix + "species"] = state.crystal.species
+            arrays[prefix + "frac"] = state.crystal.frac_coords
+            arrays[prefix + "velocities"] = state.velocities
+            arrays[prefix + "forces"] = state.forces
+            if isinstance(t.spec, RelaxSpec):
+                spec_meta = {
+                    f.name: getattr(t.spec.config, f.name)
+                    for f in fields(t.spec.config)
+                }
+            else:
+                spec_meta = {
+                    f.name: getattr(t.spec, f.name)
+                    for f in fields(t.spec)
+                    if f.name != "crystal"
+                }
+            entry = {
+                "kind": t.kind,
+                "steps": t.steps,
+                "done": t.done,
+                "name": state.crystal.name,
+                "energy": state.potential_energy,
+                "spec": spec_meta,
+            }
+            if t.kind == "relax":
+                entry["fire"] = {
+                    "dt": state.dt,
+                    "alpha": state.alpha,
+                    "n_pos": state.n_pos,
+                    "n_steps": state.n_steps,
+                }
+            if t.frames:
+                arrays[prefix + "frame_positions"] = np.stack(
+                    [f.positions for f in t.frames]
+                )
+                arrays[prefix + "frame_forces"] = np.stack([f.forces for f in t.frames])
+                arrays[prefix + "frame_energies"] = np.asarray(
+                    [f.energy for f in t.frames], dtype=np.float64
+                )
+            traj_meta.append(entry)
+        meta = {
+            "kind": "trajectory-farm",
+            "skin": self.skin,
+            "record": self.record,
+            "stats": {
+                "waves": self.stats.waves,
+                "structure_steps": self.stats.structure_steps,
+                "evaluations": self.stats.evaluations,
+                "retired": self.stats.retired,
+                "wave_sizes": list(self.stats.wave_sizes),
+            },
+            "trajectories": traj_meta,
+        }
+        save_checkpoint(path, arrays, meta)
+
+    @classmethod
+    def resume(cls, path: str, engine) -> "TrajectoryFarm":
+        """Rebuild a farm from :meth:`checkpoint`; call :meth:`run` to continue.
+
+        The restored farm carries every trajectory's exact state (and, when
+        recording, its frame history), so continuing it finishes
+        bit-identical to the uninterrupted run.  Skin caches and ``prev``
+        graphs are rebuilt fresh — they are exact by contract, so only the
+        cache/diff telemetry restarts.  Raises
+        :class:`~repro.train.checkpoint.CheckpointError` on a corrupted
+        file or one that is not a farm checkpoint.
+        """
+        arrays, meta = load_checkpoint(path)
+        if meta.get("kind") != "trajectory-farm":
+            raise CheckpointError(
+                f"{path!r} is not a trajectory-farm checkpoint "
+                f"(kind={meta.get('kind')!r})"
+            )
+        farm = cls(engine, skin=meta["skin"], record=meta["record"])
+        for i, entry in enumerate(meta["trajectories"]):
+            prefix = f"t{i}_"
+            crystal = Crystal(
+                Lattice(arrays[prefix + "lattice"]),
+                arrays[prefix + "species"],
+                arrays[prefix + "frac"],
+                name=entry["name"],
+            )
+            if entry["kind"] == "relax":
+                spec = RelaxSpec(crystal, FIREConfig(**entry["spec"]))
+            else:
+                spec = MDSpec(crystal, **entry["spec"])
+            farm.add(spec)
+            t = farm._trajectories[i]
+            velocities = arrays[prefix + "velocities"]
+            forces = arrays[prefix + "forces"]
+            if entry["kind"] == "relax":
+                fire = entry["fire"]
+                t.state = FIREState(
+                    crystal=crystal,
+                    velocities=velocities,
+                    forces=forces,
+                    potential_energy=entry["energy"],
+                    dt=fire["dt"],
+                    alpha=fire["alpha"],
+                    n_pos=fire["n_pos"],
+                    n_steps=fire["n_steps"],
+                )
+            else:
+                t.state = VerletState(crystal, velocities, forces, entry["energy"])
+            t.steps = entry["steps"]
+            t.done = entry["done"]
+            if prefix + "frame_positions" in arrays:
+                t.frames = [
+                    TrajFrame(p, f, float(e))
+                    for p, f, e in zip(
+                        arrays[prefix + "frame_positions"],
+                        arrays[prefix + "frame_forces"],
+                        arrays[prefix + "frame_energies"],
+                    )
+                ]
+        saved = meta["stats"]
+        farm.stats.waves = saved["waves"]
+        farm.stats.structure_steps = saved["structure_steps"]
+        farm.stats.evaluations = saved["evaluations"]
+        farm.stats.retired = saved["retired"]
+        farm.stats.wave_sizes = list(saved["wave_sizes"])
+        farm._resumed = True
+        return farm
 
 
 def run_sequential(

@@ -8,12 +8,16 @@ from repro.serve.engine import (
     Prediction,
     percentile,
 )
+from repro.serve.faults import DeadlineExceeded, WorkerFailure, WorkerFaultPlan
 
 __all__ = [
+    "DeadlineExceeded",
     "EngineClosed",
     "EngineOverloaded",
     "EngineStats",
     "InferenceEngine",
     "Prediction",
+    "WorkerFailure",
+    "WorkerFaultPlan",
     "percentile",
 ]

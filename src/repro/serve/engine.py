@@ -66,6 +66,26 @@ Workers and the shared program cache
     :mod:`repro.comm.scaling`), which yields per-request latencies for
     p50/p95 reporting.
 
+Fault tolerance
+    Workers can fail.  A :class:`~repro.serve.faults.WorkerFaultPlan` kills,
+    flakes or straggles individual workers at dispatch time; a dead worker
+    is *discovered* when a batch is dispatched to it and surfaces as a
+    typed :class:`~repro.serve.faults.WorkerFailure` **before any result is
+    written**, so the whole group transparently re-queues onto the
+    surviving rotation (bounded per-request retries, exponential backoff
+    priced on the virtual clocks).  Per-worker health is a
+    consecutive-failure circuit breaker: a tripped worker drains out of
+    the dispatch rotation and is re-admitted half-open after a cooldown,
+    while a discovered *kill* drains the worker permanently — or, with
+    ``replace_workers=True``, replaces it in place with a fresh replica on
+    the shared program cache, mirroring :func:`repro.train.run_elastic`.
+    Requests may carry deadlines (``submit(..., deadline=...)``); a request
+    whose deadline passes while queued is shed with a typed
+    :class:`~repro.serve.faults.DeadlineExceeded` instead of burning worker
+    time.  Batches stuck behind a straggling worker can be **hedged** to
+    the idlest healthy worker, keeping the first (modeled) completion —
+    safe because of the bit-identity contract below.
+
 Bit-identity
     Padded, batched, replayed predictions are **bit-identical** to eager
     per-request inference.  Replay-vs-eager equality is the compile
@@ -100,6 +120,7 @@ from repro.graph.batching import (
 )
 from repro.graph.crystal_graph import CrystalGraph, build_graph
 from repro.model.chgnet import CHGNetModel
+from repro.serve.faults import DeadlineExceeded, WorkerFailure, WorkerFaultPlan
 from repro.structures.crystal import Crystal
 from repro.tensor import no_grad
 from repro.tensor.compile import InferenceCompiler, SharedProgramCache
@@ -172,6 +193,18 @@ class EngineStats:
     raw_cost: int = 0
     #: summed priced workload cost of the padded batches serving them
     padded_cost: int = 0
+    #: dispatches that discovered a dead/flaking worker (typed WorkerFailure)
+    worker_failures: int = 0
+    #: requests transparently re-queued after a worker failure
+    retries: int = 0
+    #: batches duplicated to a second worker (straggler hedging)
+    hedges: int = 0
+    #: hedged batches where the duplicate finished first
+    hedge_wins: int = 0
+    #: requests shed because their deadline passed while queued
+    deadline_misses: int = 0
+    #: dead workers replaced in place by a fresh replica
+    worker_replacements: int = 0
     #: most recent per-request latencies (bounded sliding window)
     latencies: deque = field(default_factory=lambda: deque(maxlen=_LATENCY_WINDOW))
 
@@ -208,6 +241,12 @@ class EngineStats:
             "load_shed": self.load_shed,
             "waves": self.waves,
             "wave_structs": self.wave_structs,
+            "worker_failures": self.worker_failures,
+            "retries": self.retries,
+            "hedges": self.hedges,
+            "hedge_wins": self.hedge_wins,
+            "deadline_misses": self.deadline_misses,
+            "worker_replacements": self.worker_replacements,
             "padding_overhead": self.padding_overhead,
             "latency_p50": percentile(self.latencies, 50),
             "latency_p95": percentile(self.latencies, 95),
@@ -221,6 +260,8 @@ class _Pending:
     submitted: float
     version: int
     dims: tuple[int, int, int, int]
+    deadline: float | None = None  # absolute, on the engine's virtual clock
+    retries: int = 0  # re-dispatches consumed after worker failures
 
 
 class InferenceEngine:
@@ -274,6 +315,38 @@ class InferenceEngine:
         :class:`EngineOverloaded`, counted in ``stats.load_shed``, and the
         engine keeps serving — honest backpressure instead of an unbounded
         queue hiding an overload.
+    fault_plan:
+        Optional :class:`~repro.serve.faults.WorkerFaultPlan` injecting
+        worker kills/flakes/stragglers at dispatch time (``None`` = the
+        fault-free engine, whose scheduling is bit-for-bit unchanged).
+    max_retries:
+        Re-dispatches a request may consume after worker failures before
+        it is shed with a terminal :class:`~repro.serve.faults.WorkerFailure`.
+    retry_backoff:
+        Base of the exponential backoff (virtual seconds) priced onto a
+        group's dispatch clock after each failed attempt.
+    hedge:
+        Duplicate batches stuck behind a straggling worker (known plan
+        skew, or queue delay beyond ``hedge_after``) onto the idlest
+        healthy worker, keeping the first modeled completion.  Both
+        workers' clocks advance — hedging buys latency with duplicate
+        work, honestly priced.  Safe: replays are bit-identical, so the
+        winner's bits equal the loser's.
+    hedge_after:
+        Queue delay (seconds on the virtual clock) beyond which a batch
+        is hedged even without known skew; ``None`` uses ``max_wait``.
+    breaker_threshold:
+        Consecutive failures that trip a worker's circuit breaker and
+        drain it from the dispatch rotation.
+    breaker_cooldown:
+        Virtual seconds a tripped worker stays drained before half-open
+        re-admission (one more failure re-trips it immediately).
+    replace_workers:
+        Replace a worker discovered *dead* (killed, not merely flaking)
+        with a fresh replica + compiler on the shared program cache,
+        mirroring :func:`repro.train.run_elastic`'s replace-recovery; the
+        replacement installs whatever version its next batch is pinned
+        to.  ``False`` drains dead workers permanently.
     """
 
     def __init__(
@@ -289,6 +362,14 @@ class InferenceEngine:
         memoize: int = 0,
         max_versions: int = 4,
         max_pending: int = 0,
+        fault_plan: WorkerFaultPlan | None = None,
+        max_retries: int = 2,
+        retry_backoff: float = 1e-3,
+        hedge: bool = False,
+        hedge_after: float | None = None,
+        breaker_threshold: int = 2,
+        breaker_cooldown: float = 1.0,
+        replace_workers: bool = False,
     ) -> None:
         if n_workers < 1:
             raise ValueError(f"n_workers must be >= 1, got {n_workers}")
@@ -306,6 +387,20 @@ class InferenceEngine:
             raise ValueError(f"max_versions must be >= 1, got {max_versions}")
         if max_pending < 0:
             raise ValueError(f"max_pending must be non-negative, got {max_pending}")
+        if max_retries < 0:
+            raise ValueError(f"max_retries must be non-negative, got {max_retries}")
+        if retry_backoff < 0:
+            raise ValueError(f"retry_backoff must be non-negative, got {retry_backoff}")
+        if hedge_after is not None and hedge_after < 0:
+            raise ValueError(f"hedge_after must be non-negative, got {hedge_after}")
+        if breaker_threshold < 1:
+            raise ValueError(
+                f"breaker_threshold must be >= 1, got {breaker_threshold}"
+            )
+        if breaker_cooldown < 0:
+            raise ValueError(
+                f"breaker_cooldown must be non-negative, got {breaker_cooldown}"
+            )
         self.model = model
         self.config = model.config
         self.n_workers = n_workers
@@ -316,6 +411,14 @@ class InferenceEngine:
         self.memoize = int(memoize)
         self.max_versions = max_versions
         self.max_pending = int(max_pending)
+        self.fault_plan = fault_plan
+        self.max_retries = int(max_retries)
+        self.retry_backoff = float(retry_backoff)
+        self.hedge = hedge
+        self.hedge_after = float(max_wait if hedge_after is None else hedge_after)
+        self.breaker_threshold = int(breaker_threshold)
+        self.breaker_cooldown = float(breaker_cooldown)
+        self.replace_workers = replace_workers
         self._closed = False
         self.workers: list[CHGNetModel] = [
             CHGNetModel(model.config, np.random.default_rng(w))
@@ -332,9 +435,18 @@ class InferenceEngine:
             ]
         self.stats = EngineStats()
         self._worker_free = [0.0] * n_workers
+        # Fault-tolerance state: global dispatch-attempt counter (the fault
+        # plan's key), the set of actually-dead workers (plan truth, only
+        # *discovered* by dispatching to one), and the engine's health view.
+        self._dispatches = 0
+        self._dead: set[int] = set()
+        self._consec_failures = [0] * n_workers
+        self._drained_until: list[float | None] = [None] * n_workers
         # (version, tier) -> FIFO of pending requests
         self._queues: dict[tuple[int, int], list[_Pending]] = {}
         self._results: dict[int, Prediction] = {}
+        # request id -> terminal typed failure, raised (once) by poll()
+        self._failed: dict[int, Exception] = {}
         self._next_id = 0
         self._now = 0.0
         self._collate_cache: OrderedDict[tuple, tuple[list, GraphBatch]] = OrderedDict()
@@ -467,6 +579,7 @@ class InferenceEngine:
         item: Crystal | CrystalGraph,
         now: float | None = None,
         version: int | None = None,
+        deadline: float | None = None,
     ) -> int:
         """Enqueue one structure; returns its request id.
 
@@ -475,6 +588,13 @@ class InferenceEngine:
         published while it waits.  Full tier queues flush immediately;
         partial queues wait for more same-tier work until ``max_wait``
         passes on the ``now`` clock.
+
+        ``deadline`` is a relative budget in virtual seconds: a request
+        still *queued* when ``now`` passes ``submit-time + deadline`` is
+        shed (counted in ``stats.deadline_misses``) and its :meth:`poll`
+        raises :class:`~repro.serve.faults.DeadlineExceeded` — nobody is
+        waiting for a late answer, so no worker time is burned on one.
+        A request already dispatched always completes.
 
         Raises :class:`EngineClosed` after :meth:`shutdown`,
         :class:`EngineOverloaded` when a bounded queue is full (the shed is
@@ -489,6 +609,8 @@ class InferenceEngine:
             raise EngineOverloaded(
                 f"pending queue full ({self.pending}/{self.max_pending}); request shed"
             )
+        if deadline is not None and deadline < 0:
+            raise ValueError(f"deadline must be non-negative, got {deadline}")
         now = self._advance(now)
         if version is None:
             version = self.current_version
@@ -506,7 +628,14 @@ class InferenceEngine:
         self.stats.requests += 1
         key = (version, workload_tier(dims))
         self._queues.setdefault(key, []).append(
-            _Pending(request_id, graph, now, version, dims)
+            _Pending(
+                request_id,
+                graph,
+                now,
+                version,
+                dims,
+                deadline=None if deadline is None else now + float(deadline),
+            )
         )
         self._flush_ready(now)
         return request_id
@@ -518,9 +647,17 @@ class InferenceEngine:
         request has waited ``max_wait`` is flushed as a partial batch, so a
         trickle of traffic is served within a bounded delay instead of
         waiting forever for a full batch.
+
+        A request that terminally failed raises its typed error (once):
+        :class:`~repro.serve.faults.DeadlineExceeded` if its deadline
+        passed while it was queued,
+        :class:`~repro.serve.faults.WorkerFailure` if every retry was shed.
         """
         now = self._advance(now)
         self._flush_ready(now)
+        failure = self._failed.pop(request_id, None)
+        if failure is not None:
+            raise failure
         return self._results.pop(request_id, None)
 
     def flush(self, now: float | None = None, merge: bool | None = None) -> int:
@@ -586,6 +723,7 @@ class InferenceEngine:
         queue = self._queues.get(key)
         if not queue:
             return 0
+        queue = self._queues[key] = self._shed_expired(queue, now)
         n = 0
         while len(queue) >= self.max_batch_structs:
             group = queue[: self.max_batch_structs]
@@ -595,10 +733,29 @@ class InferenceEngine:
         if queue and tail(queue):
             self._queues[key] = []
             if merge:
-                queue = self._merge_partial(key, queue)
+                queue = self._merge_partial(key, queue, now)
             self._dispatch(queue, now)
             n += 1
         return n
+
+    def _shed_expired(self, queue: list[_Pending], now: float) -> list[_Pending]:
+        """Drop queued requests whose deadline has passed; returns survivors.
+
+        Each miss is counted and recorded as a typed
+        :class:`~repro.serve.faults.DeadlineExceeded` for :meth:`poll` to
+        raise.  Only *queued* requests can miss — once dispatched, a
+        request always completes.
+        """
+        kept = []
+        for pending in queue:
+            if pending.deadline is not None and now > pending.deadline:
+                self.stats.deadline_misses += 1
+                self._failed[pending.request_id] = DeadlineExceeded(
+                    pending.request_id, pending.deadline, now
+                )
+            else:
+                kept.append(pending)
+        return kept
 
     # ------------------------------------------------------- adaptive merging
     def _canonical_seeds(self, dims_list: list[tuple]) -> tuple:
@@ -624,12 +781,15 @@ class InferenceEngine:
             return 0.0  # eager batches are never padded
         return padding_overhead(dims_list, seeds=self._canonical_seeds(dims_list))
 
-    def _merge_partial(self, key: tuple[int, int], group: list[_Pending]) -> list[_Pending]:
+    def _merge_partial(
+        self, key: tuple[int, int], group: list[_Pending], now: float
+    ) -> list[_Pending]:
         """Absorb adjacent-tier same-version requests into a partial group.
 
         Nearest tiers first, FIFO within a tier; absorption from a tier
         stops at the first request whose addition would price the merged
-        group's padding overhead above ``merge_overhead_cap``.
+        group's padding overhead above ``merge_overhead_cap``.  Requests
+        whose deadline already passed are shed, not absorbed.
         """
         version, tier = key
         dims_list = [p.dims for p in group]
@@ -638,7 +798,7 @@ class InferenceEngine:
             key=lambda k: (abs(k[1] - tier), k[1]),
         )
         for k in candidates:
-            queue = self._queues[k]
+            queue = self._queues[k] = self._shed_expired(self._queues[k], now)
             while queue and len(group) < self.max_batch_structs:
                 cand = queue[0]
                 if self._group_overhead(dims_list + [cand.dims]) > self.merge_overhead_cap:
@@ -672,7 +832,13 @@ class InferenceEngine:
         self._now = max(self._now, self.makespan())
         ids = [self.submit(g) for g in graphs]
         self.flush(merge=False)
-        return [self._results.pop(request_id) for request_id in ids]
+        predictions = []
+        for request_id in ids:
+            failure = self._failed.pop(request_id, None)
+            if failure is not None:
+                raise failure
+            predictions.append(self._results.pop(request_id))
+        return predictions
 
     def predict_wave(self, items: list[Crystal | CrystalGraph]) -> list[Prediction]:
         """One lockstep wave of a trajectory farm; order follows inputs.
@@ -825,10 +991,133 @@ class InferenceEngine:
             "magmom": output.magmom.data,
         }
 
+    def _pick_worker(self, now: float, exclude: int | None = None) -> int | None:
+        """Believed-healthy worker whose virtual clock frees first, or ``None``.
+
+        Skips workers drained by the circuit breaker whose cooldown has not
+        elapsed; a worker whose cooldown *has* elapsed is re-admitted
+        half-open (one more failure re-trips the breaker immediately).
+        Ties break to the lowest index, matching the fault-free argmin, so
+        an engine with no fault plan schedules bit-for-bit identically.
+        """
+        best = None
+        for w in range(self.n_workers):
+            if w == exclude:
+                continue
+            until = self._drained_until[w]
+            if until is not None:
+                if until > now:
+                    continue
+                self._drained_until[w] = None
+                self._consec_failures[w] = max(0, self.breaker_threshold - 1)
+            if best is None or self._worker_free[w] < self._worker_free[best]:
+                best = w
+        return best
+
+    def _replace_worker(self, worker: int, now: float) -> None:
+        """Swap a dead worker for a fresh replica on the shared cache.
+
+        Mirrors :func:`repro.train.run_elastic`'s replace-recovery: the
+        replacement joins the rotation immediately with nothing installed
+        (version sentinel ``-1``), so its first batch installs whatever
+        version that batch is pinned to — not merely the current one.
+        Cached programs survive: they are keyed by batch shape and rebind
+        parameters on every replay.
+        """
+        self.workers[worker] = CHGNetModel(
+            self.model.config, np.random.default_rng(worker)
+        )
+        self._worker_params[worker] = self.workers[worker].parameters()
+        self._worker_version[worker] = -1
+        if self.compilers is not None:
+            self.compilers[worker] = InferenceCompiler(
+                self.workers[worker], cache=self.cache
+            )
+        self._dead.discard(worker)
+        self._consec_failures[worker] = 0
+        self._drained_until[worker] = None
+        self._worker_free[worker] = max(self._worker_free[worker], now)
+        self.stats.worker_replacements += 1
+
     def _dispatch(self, group: list[_Pending], now: float) -> None:
+        """Serve one collated group, surviving planned worker faults.
+
+        The fault-free path is unchanged: one dispatch to the worker whose
+        virtual clock frees first.  Under a fault plan a dispatch may
+        instead *discover* a killed or flaking worker — a typed
+        :class:`~repro.serve.faults.WorkerFailure` before any result is
+        written — after which the whole group re-queues onto the surviving
+        rotation with exponential backoff priced on the virtual clock,
+        shedding only requests that exhausted ``max_retries``.
+        """
         version = group[0].version
+        attempt = 0
+        while group:
+            dispatch = self._dispatches
+            self._dispatches += 1
+            if self.fault_plan is not None:
+                self._dead.update(self.fault_plan.take_kills(dispatch))
+            worker = self._pick_worker(now)
+            if worker is None:
+                # The whole rotation is drained; wait out the earliest
+                # finite cooldown on the virtual clock.
+                wake = min(
+                    (u for u in self._drained_until if u is not None and u != float("inf")),
+                    default=None,
+                )
+                if wake is None:
+                    # Every worker is permanently dead and irreplaceable.
+                    for pending in group:
+                        self._failed[pending.request_id] = WorkerFailure(
+                            -1, dispatch, pending.request_id
+                        )
+                    return
+                now = max(now, wake)
+                worker = self._pick_worker(now)
+            failed = worker in self._dead or (
+                self.fault_plan is not None
+                and self.fault_plan.take_flake(worker, dispatch)
+            )
+            if failed:
+                self.stats.worker_failures += 1
+                self._consec_failures[worker] += 1
+                if worker in self._dead:
+                    # A kill is unambiguous: out of rotation for good, or
+                    # replaced in place when the engine is elastic.
+                    if self.replace_workers:
+                        self._replace_worker(worker, now)
+                    else:
+                        self._drained_until[worker] = float("inf")
+                elif self._consec_failures[worker] >= self.breaker_threshold:
+                    self._drained_until[worker] = now + self.breaker_cooldown
+                survivors = []
+                for pending in group:
+                    pending.retries += 1
+                    if pending.retries > self.max_retries:
+                        self._failed[pending.request_id] = WorkerFailure(
+                            worker, dispatch, pending.request_id
+                        )
+                    else:
+                        self.stats.retries += 1
+                        survivors.append(pending)
+                group = survivors
+                now += self.retry_backoff * (2.0**attempt)
+                attempt += 1
+                continue
+            self._consec_failures[worker] = 0
+            self._evaluate(group, worker, version, dispatch, now)
+            return
+
+    def _evaluate(
+        self,
+        group: list[_Pending],
+        worker: int,
+        version: int,
+        dispatch: int,
+        now: float,
+    ) -> None:
+        """Evaluate a group on ``worker`` (optionally hedged) and record results."""
         batch = self._collate_group([p.graph for p in group])
-        worker = int(np.argmin(self._worker_free))
         self._ensure_version(worker, version)
         before = (
             self.cache.hits if self.cache is not None else 0,
@@ -836,7 +1125,40 @@ class InferenceEngine:
         )
         t0 = time.perf_counter()
         out = self._eval_batch(worker, batch)
-        service = time.perf_counter() - t0
+        measured = time.perf_counter() - t0
+        skew = (
+            self.fault_plan.skew(worker, dispatch)
+            if self.fault_plan is not None
+            else 0.0
+        )
+        start = max(self._worker_free[worker], now)
+        finish = start + measured + skew
+        served_by, served_at = worker, finish
+        if self.hedge and (skew > 0.0 or start - now > self.hedge_after):
+            # Duplicate the stuck batch onto the idlest healthy worker and
+            # keep the first modeled completion.  Both clocks advance: the
+            # loser's work is not free, it is the price of the hedge.
+            other = self._pick_worker(now, exclude=worker)
+            if other is not None and other not in self._dead:
+                self.stats.hedges += 1
+                self._ensure_version(other, version)
+                t1 = time.perf_counter()
+                hedge_out = self._eval_batch(other, batch)
+                hedge_measured = time.perf_counter() - t1
+                hedge_skew = (
+                    self.fault_plan.skew(other, dispatch)
+                    if self.fault_plan is not None
+                    else 0.0
+                )
+                hedge_finish = (
+                    max(self._worker_free[other], now) + hedge_measured + hedge_skew
+                )
+                self._worker_free[other] = hedge_finish
+                if hedge_finish < finish:
+                    # Bit-identity makes the winner's bits equal the
+                    # loser's, so keeping either output is safe.
+                    self.stats.hedge_wins += 1
+                    out, served_by, served_at = hedge_out, other, hedge_finish
         if self.cache is not None:
             self.stats.cache_hits += self.cache.hits - before[0]
             self.stats.cache_misses += self.cache.misses - before[1]
@@ -852,15 +1174,13 @@ class InferenceEngine:
         )
         if len({workload_tier(d) for d in dims_list}) > 1:
             self.stats.merged_batches += 1
-        start = max(self._worker_free[worker], now)
-        finish = start + service
         self._worker_free[worker] = finish
         self.stats.batches += 1
         offsets = batch.atom_offsets
         for i, pending in enumerate(group):
             a0, a1 = int(offsets[i]), int(offsets[i + 1])
             e_pa = float(out["energy"][i])
-            latency = finish - pending.submitted
+            latency = served_at - pending.submitted
             self.stats.latencies.append(latency)
             self._results[pending.request_id] = Prediction(
                 request_id=pending.request_id,
@@ -869,7 +1189,7 @@ class InferenceEngine:
                 forces=out["forces"][a0:a1].copy(),
                 stress=out["stress"][i].copy(),
                 magmom=out["magmom"][a0:a1].copy(),
-                worker=worker,
+                worker=served_by,
                 batch_structs=len(group),
                 latency=latency,
                 version=version,

@@ -1,0 +1,278 @@
+"""Deterministic fault injection for the serving engine's workers.
+
+PR 6 taught the simulated training cluster to rehearse rank deaths,
+stragglers and timeouts (:mod:`repro.comm.faults`); a serving tier that is
+supposed to sit in the hot path of production traffic must survive the
+same failures.  :class:`WorkerFaultPlan` is the serving-side analogue of
+:class:`~repro.comm.faults.FaultPlan` — a declarative, seeded schedule of
+worker faults keyed by the engine's **global dispatch index** (every batch
+dispatch attempt increments it, so a plan is exactly reproducible):
+
+* **kills** mark a worker permanently dead from a dispatch index on; the
+  death is *discovered* when a batch is next dispatched to that worker and
+  surfaces as a typed :class:`WorkerFailure` **before any result is
+  written**, so the engine can re-queue the batch on survivors;
+* **flakes** fail a bounded number of dispatches routed to a worker and
+  then let it recover — the transient fault class that makes the circuit
+  breaker's cooldown re-admission meaningful;
+* **stragglers** never fail anything: they add virtual seconds to the
+  service time of matching dispatches, so the worker's virtual clock (and
+  the engine's modeled latencies) price the slowdown honestly — and give
+  hedging something to win against.
+
+Like the comm-layer plan, kills and flakes are *consumed* as they fire and
+:meth:`WorkerFaultPlan.unfired` reports anything that never landed, so a
+test can assert the rehearsed failure actually happened.
+:class:`DeadlineExceeded` is the per-request deadline miss the engine
+raises from :meth:`~repro.serve.engine.InferenceEngine.poll` when a
+request expired in the queue before it could be served.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class WorkerFailure(RuntimeError):
+    """A serving worker failed a dispatch; no results were written.
+
+    Carries the failed ``worker`` and the global ``dispatch`` index the
+    failure surfaced at.  Inside the engine the failure is transparently
+    retried on surviving workers; it only reaches a caller (from ``poll``
+    or ``predict_many``) when a request exhausted its retry budget —
+    ``request_id`` is set on that terminal form.
+    """
+
+    def __init__(
+        self, worker: int, dispatch: int, request_id: int | None = None
+    ) -> None:
+        detail = f" (request {request_id} shed)" if request_id is not None else ""
+        super().__init__(f"worker {worker} failed at dispatch {dispatch}{detail}")
+        self.worker = worker
+        self.dispatch = dispatch
+        self.request_id = request_id
+
+
+class DeadlineExceeded(RuntimeError):
+    """A request's deadline passed while it was still queued.
+
+    Raised by :meth:`~repro.serve.engine.InferenceEngine.poll` for requests
+    submitted with ``deadline=`` that expired before dispatch; the request
+    was shed (counted in ``stats.deadline_misses``) instead of burning
+    worker time on an answer nobody is waiting for.
+    """
+
+    def __init__(self, request_id: int, deadline: float, now: float) -> None:
+        super().__init__(
+            f"request {request_id} missed its deadline "
+            f"({now - deadline:.3f}s past {deadline:.3f})"
+        )
+        self.request_id = request_id
+        self.deadline = deadline
+
+
+class WorkerFaultPlan:
+    """Declarative schedule of worker faults, keyed by global dispatch index.
+
+    Build with the chainable methods::
+
+        plan = WorkerFaultPlan().kill(worker=1, dispatch=4)
+        plan = WorkerFaultPlan().flake(worker=0, dispatch=2, count=3)
+        plan = WorkerFaultPlan().straggle(worker=2, seconds=0.5)
+
+    or parse CLI specs (:meth:`parse`) / draw a seeded random plan
+    (:meth:`random`).  Kills and flakes are consumed when they fire;
+    :meth:`unfired` names anything still pending.
+    """
+
+    def __init__(self) -> None:
+        self._kills: dict[int, list[int]] = {}
+        self._flakes: list[list[int]] = []  # [worker, start_dispatch, remaining]
+        self._skews: list[tuple[int, float, int, int | None]] = []
+        self._skews_fired: set[int] = set()
+
+    # -------------------------------------------------------------- builders
+    def kill(self, worker: int, dispatch: int) -> "WorkerFaultPlan":
+        """Kill ``worker`` permanently at global dispatch index ``dispatch``."""
+        if worker < 0:
+            raise ValueError(f"worker must be >= 0, got {worker}")
+        if dispatch < 0:
+            raise ValueError(f"dispatch must be >= 0, got {dispatch}")
+        self._kills.setdefault(dispatch, []).append(worker)
+        return self
+
+    def flake(self, worker: int, dispatch: int, count: int = 1) -> "WorkerFaultPlan":
+        """Fail the next ``count`` dispatches routed to ``worker``.
+
+        Active from dispatch index ``dispatch`` on; unlike a kill the
+        worker recovers once the budget is consumed, which is what lets a
+        circuit breaker's cooldown re-admission succeed.
+        """
+        if worker < 0:
+            raise ValueError(f"worker must be >= 0, got {worker}")
+        if dispatch < 0:
+            raise ValueError(f"dispatch must be >= 0, got {dispatch}")
+        if count < 1:
+            raise ValueError(f"count must be >= 1, got {count}")
+        self._flakes.append([worker, dispatch, count])
+        return self
+
+    def straggle(
+        self,
+        worker: int,
+        seconds: float,
+        start: int = 0,
+        stop: int | None = None,
+    ) -> "WorkerFaultPlan":
+        """Add ``seconds`` of virtual service time to ``worker``'s dispatches.
+
+        Active for dispatch indices in ``[start, stop)``; ``stop=None``
+        means forever.  Overlapping windows accumulate.
+        """
+        if worker < 0:
+            raise ValueError(f"worker must be >= 0, got {worker}")
+        if seconds < 0:
+            raise ValueError(f"straggler seconds must be >= 0, got {seconds}")
+        if start < 0 or (stop is not None and stop <= start):
+            raise ValueError(f"bad straggler window [{start}, {stop})")
+        self._skews.append((worker, float(seconds), start, stop))
+        return self
+
+    # --------------------------------------------------------------- queries
+    @property
+    def empty(self) -> bool:
+        """Whether no faults remain scheduled (fired ones are consumed)."""
+        return not (self._kills or any(f[2] for f in self._flakes) or self._skews)
+
+    def take_kills(self, dispatch: int) -> list[int]:
+        """Workers scheduled to die at ``dispatch``; consumed (fires once)."""
+        return self._kills.pop(dispatch, [])
+
+    def take_flake(self, worker: int, dispatch: int) -> bool:
+        """Consume one flake unit for ``worker`` at ``dispatch``, if any."""
+        for entry in self._flakes:
+            if entry[0] == worker and entry[1] <= dispatch and entry[2] > 0:
+                entry[2] -= 1
+                return True
+        return False
+
+    def skew(self, worker: int, dispatch: int) -> float:
+        """Virtual straggler seconds for ``worker`` at ``dispatch``.
+
+        Windows that contribute are marked fired (see :meth:`unfired`).
+        """
+        total = 0.0
+        for i, (w, seconds, start, stop) in enumerate(self._skews):
+            if w == worker and start <= dispatch and (stop is None or dispatch < stop):
+                total += seconds
+                self._skews_fired.add(i)
+        return total
+
+    def unfired(self) -> list[str]:
+        """Canonical specs of planned faults that have not fired yet.
+
+        Kills/flakes are consumed as they fire and straggler windows are
+        marked the first time :meth:`skew` samples them, so a test can
+        assert ``plan.unfired() == []`` to prove every rehearsed failure
+        actually landed.
+        """
+        specs = [
+            f"kill:{worker}:{dispatch}"
+            for dispatch in sorted(self._kills)
+            for worker in self._kills[dispatch]
+        ]
+        specs += [
+            f"flake:{worker}:{start}:{remaining}"
+            for worker, start, remaining in self._flakes
+            if remaining > 0
+        ]
+        for i, (worker, seconds, start, stop) in enumerate(self._skews):
+            if i not in self._skews_fired:
+                window = f":{start}" + (f":{stop}" if stop is not None else "")
+                specs.append(
+                    f"straggle:{worker}:{seconds}{window if window != ':0' else ''}"
+                )
+        return specs
+
+    # ---------------------------------------------------------- constructors
+    @classmethod
+    def parse(cls, specs: list[str]) -> "WorkerFaultPlan":
+        """Build a plan from CLI specs (``serve --inject-worker-fault``).
+
+        Accepted forms::
+
+            kill:WORKER:DISPATCH
+            flake:WORKER:DISPATCH[:COUNT]
+            straggle:WORKER:SECONDS[:START[:STOP]]
+
+        Malformed specs and duplicates raise ``ValueError`` naming the
+        offending spec string.
+        """
+        plan = cls()
+        seen: set[str] = set()
+        for spec in specs:
+            normalized = spec.strip()
+            if normalized in seen:
+                raise ValueError(
+                    f"duplicate worker fault spec {spec!r}: each fault may "
+                    "be specified only once"
+                )
+            seen.add(normalized)
+            parts = spec.split(":")
+            kind = parts[0]
+            try:
+                if kind == "kill" and len(parts) == 3:
+                    plan.kill(worker=int(parts[1]), dispatch=int(parts[2]))
+                elif kind == "flake" and len(parts) in (3, 4):
+                    count = int(parts[3]) if len(parts) == 4 else 1
+                    plan.flake(worker=int(parts[1]), dispatch=int(parts[2]), count=count)
+                elif kind == "straggle" and len(parts) in (3, 4, 5):
+                    start = int(parts[3]) if len(parts) >= 4 else 0
+                    stop = int(parts[4]) if len(parts) == 5 else None
+                    plan.straggle(
+                        worker=int(parts[1]),
+                        seconds=float(parts[2]),
+                        start=start,
+                        stop=stop,
+                    )
+                else:
+                    raise ValueError("unrecognized form")
+            except ValueError as exc:
+                raise ValueError(
+                    f"bad worker fault spec {spec!r} ({exc}); expected "
+                    "kill:WORKER:DISPATCH, flake:WORKER:DISPATCH[:COUNT], or "
+                    "straggle:WORKER:SECONDS[:START[:STOP]]"
+                ) from exc
+        return plan
+
+    @classmethod
+    def random(
+        cls,
+        seed: int,
+        n_workers: int,
+        n_dispatches: int,
+        p_kill: float = 0.0,
+        p_flake: float = 0.0,
+        straggler_seconds: float = 0.0,
+    ) -> "WorkerFaultPlan":
+        """Seeded random plan over ``n_dispatches`` (same seed, same plan).
+
+        Each dispatch index independently schedules a kill of a
+        uniform-random worker with probability ``p_kill`` and a one-shot
+        flake with probability ``p_flake``; ``straggler_seconds > 0``
+        additionally skews one random worker for the whole run.
+        """
+        if n_workers < 1:
+            raise ValueError(f"n_workers must be >= 1, got {n_workers}")
+        rng = np.random.default_rng(seed)
+        plan = cls()
+        for dispatch in range(n_dispatches):
+            if p_kill and rng.random() < p_kill:
+                plan.kill(worker=int(rng.integers(n_workers)), dispatch=dispatch)
+            if p_flake and rng.random() < p_flake:
+                plan.flake(worker=int(rng.integers(n_workers)), dispatch=dispatch)
+        if straggler_seconds > 0:
+            plan.straggle(
+                worker=int(rng.integers(n_workers)), seconds=straggler_seconds
+            )
+        return plan

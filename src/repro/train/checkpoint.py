@@ -43,18 +43,14 @@ class CheckpointError(ValueError):
     """A checkpoint file is missing, truncated, corrupted, or incompatible."""
 
 
-def save_checkpoint(path: str, arrays: dict[str, np.ndarray], meta: dict) -> None:
-    """Atomically write ``arrays`` + ``meta`` as a validated checkpoint.
+def _write_payload(path: str, payload: bytes) -> None:
+    """Atomically land ``payload`` at ``path`` under the ``RCKPT1`` header.
 
-    ``arrays`` keys must not collide with the reserved ``__meta__`` entry;
-    ``meta`` must be JSON-encodable.  The write is tmp-file + fsync +
-    ``os.replace``, so a concurrent crash never leaves a torn checkpoint.
+    The shared write half of the format: magic + CRC + length header,
+    tmp-file sibling, fsync, ``os.replace`` — a crash leaves either the old
+    file or the new one, never a torn one.  Every ``RCKPT1`` producer
+    (trainer checkpoints, trajectory-farm checkpoints) goes through here.
     """
-    if "__meta__" in arrays:
-        raise ValueError("array key '__meta__' is reserved")
-    buf = io.BytesIO()
-    np.savez(buf, __meta__=np.frombuffer(json.dumps(meta).encode(), dtype=np.uint8), **arrays)
-    payload = buf.getvalue()
     header = MAGIC + _HEADER.pack(zlib.crc32(payload) & 0xFFFFFFFF, len(payload))
     tmp = f"{path}.tmp.{os.getpid()}"
     with open(tmp, "wb") as fh:
@@ -65,13 +61,13 @@ def save_checkpoint(path: str, arrays: dict[str, np.ndarray], meta: dict) -> Non
     os.replace(tmp, path)
 
 
-def load_checkpoint(path: str) -> tuple[dict[str, np.ndarray], dict]:
-    """Read and validate a checkpoint; returns ``(arrays, meta)``.
+def _read_payload(path: str) -> bytes:
+    """Read ``path`` and return its validated ``RCKPT1`` payload bytes.
 
-    Raises :class:`CheckpointError` when the file is unreadable, carries the
-    wrong magic, is shorter than its recorded payload length (truncation),
-    or fails the CRC (corruption) — the failure modes a resuming job must
-    reject loudly instead of training on garbage.
+    The shared read half of the format: raises :class:`CheckpointError`
+    when the file is unreadable, carries the wrong magic, is shorter than
+    its recorded payload length (truncation), or fails the CRC
+    (corruption) — everything a resuming job must reject loudly.
     """
     try:
         with open(path, "rb") as fh:
@@ -91,6 +87,32 @@ def load_checkpoint(path: str) -> tuple[dict[str, np.ndarray], dict]:
         )
     if zlib.crc32(payload) & 0xFFFFFFFF != crc:
         raise CheckpointError(f"{path!r} failed CRC validation (corrupted payload)")
+    return payload
+
+
+def save_checkpoint(path: str, arrays: dict[str, np.ndarray], meta: dict) -> None:
+    """Atomically write ``arrays`` + ``meta`` as a validated checkpoint.
+
+    ``arrays`` keys must not collide with the reserved ``__meta__`` entry;
+    ``meta`` must be JSON-encodable.  The write is tmp-file + fsync +
+    ``os.replace`` (:func:`_write_payload`), so a concurrent crash never
+    leaves a torn checkpoint.
+    """
+    if "__meta__" in arrays:
+        raise ValueError("array key '__meta__' is reserved")
+    buf = io.BytesIO()
+    np.savez(buf, __meta__=np.frombuffer(json.dumps(meta).encode(), dtype=np.uint8), **arrays)
+    _write_payload(path, buf.getvalue())
+
+
+def load_checkpoint(path: str) -> tuple[dict[str, np.ndarray], dict]:
+    """Read and validate a checkpoint; returns ``(arrays, meta)``.
+
+    Header/CRC validation is :func:`_read_payload`; on top of it this
+    rejects payloads that are not a valid npz archive, so a caller never
+    resumes on garbage.
+    """
+    payload = _read_payload(path)
     try:
         with np.load(io.BytesIO(payload), allow_pickle=False) as data:
             arrays = {k: data[k] for k in data.files if k != "__meta__"}

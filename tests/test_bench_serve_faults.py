@@ -1,0 +1,53 @@
+"""The serving fault-tolerance benchmark's smoke mode must run end-to-end."""
+
+from __future__ import annotations
+
+import importlib.util
+import json
+import sys
+from pathlib import Path
+
+import pytest
+
+BENCH = Path(__file__).resolve().parents[1] / "benchmarks" / "bench_serve_faults.py"
+
+
+@pytest.fixture(scope="module")
+def bench_module():
+    spec = importlib.util.spec_from_file_location("bench_serve_faults", BENCH)
+    module = importlib.util.module_from_spec(spec)
+    sys.modules[spec.name] = module
+    spec.loader.exec_module(module)
+    return module
+
+
+def test_smoke_runs_end_to_end(bench_module, tmp_path):
+    out = tmp_path / "BENCH_serve_faults.json"
+    results = bench_module.main(["--smoke", "--out", str(out)])
+
+    assert results["mode"] == "smoke"
+    r = results["workloads"]["medium"]
+    # killing 1 of 4 workers: zero lost requests, bit-equal predictions,
+    # graceful throughput degradation (not a stall)
+    assert r["kill_zero_lost"] is True
+    assert r["kill_bit_identical"] is True
+    assert r["kill_throughput_ratio"] >= bench_module.DEGRADATION_FLOOR
+    assert r["kill_worker_failures"] >= 1
+    assert r["kill_retries"] >= 1
+    assert r["kill_plan_unfired"] == []  # the rehearsed kill actually fired
+    # hedging recovered latency without changing a single bit
+    assert r["hedge_bit_identical"] is True
+    assert r["hedges"] >= 1
+    # expiring trickle shed with typed errors; deadline-free traffic served
+    assert r["deadline_misses"] >= 1
+    assert r["deadline_misses"] == r["deadline_stat"]
+    assert r["deadline_free_served"] is True
+    # farm kill-at-wave-k + resume finishes bit-identical
+    assert r["farm_resume_identical"] is True
+    assert r["farm_total_waves"] > r["farm_waves_before_kill"]
+
+    # the JSON artifact is well-formed and carries the headline fields
+    written = json.loads(out.read_text())
+    assert written["medium_kill_bit_identical"] is True
+    assert written["medium_kill_throughput_ratio"] >= written["degradation_floor"]
+    assert written["medium_farm_resume_identical"] is True

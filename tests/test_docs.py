@@ -21,6 +21,7 @@ from repro.cli import build_parser
 from repro.comm.faults import FaultPlan, FaultyCommunicator
 from repro.data.samplers import BucketBatchSampler
 from repro.serve.engine import EngineStats, InferenceEngine, Prediction
+from repro.serve.faults import WorkerFaultPlan
 from repro.tensor.compile import (
     InferenceCompiler,
     SharedProgramCache,
@@ -41,6 +42,7 @@ DOCUMENTED_CLASSES = [
     Prediction,
     FaultPlan,
     FaultyCommunicator,
+    WorkerFaultPlan,
     Trainer,
 ]
 

@@ -1,4 +1,4 @@
-"""Trajectory farm: bit-identity vs solo, retirement, incremental angles."""
+"""Trajectory farm: bit-identity, retirement, angles, crash resumption."""
 
 from __future__ import annotations
 
@@ -168,6 +168,81 @@ class TestRetirement:
         snap = engine.snapshot()
         assert snap["waves"] == result.stats.waves == 3
         assert snap["wave_structs"] == result.stats.evaluations == 6
+
+
+class TestCrashResume:
+    """Kill-at-wave-k + resume == uninterrupted, on the RCKPT1 format."""
+
+    def test_kill_at_wave_k_resume_bit_identical(self, model, tmp_path):
+        specs = _mixed_specs()
+        uninterrupted = TrajectoryFarm(_engine(model), skin=0.6, record=True)
+        for spec in specs:
+            uninterrupted.add(spec)
+        want = uninterrupted.run()
+
+        ckpt = str(tmp_path / "farm.rckpt")
+        crashed = TrajectoryFarm(_engine(model), skin=0.6, record=True)
+        for spec in specs:
+            crashed.add(spec)
+        crashed.run(max_waves=2, checkpoint_path=ckpt)
+        del crashed  # the crash: every in-memory state is gone
+
+        resumed = TrajectoryFarm.resume(ckpt, _engine(model))
+        got = resumed.run()
+        assert len(got.results) == len(want.results)
+        for f, s in zip(got.results, want.results):
+            _frames_equal(f, s)
+        # restored counters continue, not restart: totals match end to end
+        assert got.stats.waves == want.stats.waves
+        assert got.stats.structure_steps == want.stats.structure_steps
+        assert got.stats.retired == want.stats.retired
+        assert got.stats.wave_sizes == want.stats.wave_sizes
+
+    def test_checkpoint_cadence_still_exact(self, model, tmp_path):
+        """A sparse cadence loses at most checkpoint_every waves of work
+        and the resumed run is still bit-identical."""
+        specs = _mixed_specs()[:2]
+        reference = TrajectoryFarm(_engine(model), record=True)
+        for spec in specs:
+            reference.add(spec)
+        want = reference.run()
+        ckpt = str(tmp_path / "sparse.rckpt")
+        crashed = TrajectoryFarm(_engine(model), record=True)
+        for spec in specs:
+            crashed.add(spec)
+        crashed.run(max_waves=3, checkpoint_path=ckpt, checkpoint_every=2)
+        got = TrajectoryFarm.resume(ckpt, _engine(model)).run()
+        for f, s in zip(got.results, want.results):
+            _frames_equal(f, s)
+
+    def test_checkpoint_before_run_rejected(self, model, tmp_path):
+        farm = TrajectoryFarm(_engine(model))
+        farm.add(MDSpec(cscl(11, 17), 2, seed=1))
+        with pytest.raises(RuntimeError):
+            farm.checkpoint(str(tmp_path / "early.rckpt"))
+        with pytest.raises(ValueError):
+            farm.run(checkpoint_path=str(tmp_path / "x.rckpt"), checkpoint_every=0)
+
+    def test_resume_rejects_wrong_kind(self, model, tmp_path):
+        from repro.train.checkpoint import CheckpointError, save_checkpoint
+
+        path = str(tmp_path / "trainer.rckpt")
+        save_checkpoint(path, {}, {"kind": "trainer-state"})
+        with pytest.raises(CheckpointError, match="not a trajectory-farm"):
+            TrajectoryFarm.resume(path, _engine(model))
+
+    def test_resume_rejects_corruption(self, model, tmp_path):
+        from repro.train.checkpoint import CheckpointError
+
+        path = tmp_path / "corrupt.rckpt"
+        farm = TrajectoryFarm(_engine(model))
+        farm.add(MDSpec(cscl(11, 17), 3, seed=1))
+        farm.run(max_waves=1, checkpoint_path=str(path))
+        blob = bytearray(path.read_bytes())
+        blob[-1] ^= 0xFF  # flip one payload byte
+        path.write_bytes(bytes(blob))
+        with pytest.raises(CheckpointError):
+            TrajectoryFarm.resume(str(path), _engine(model))
 
 
 class TestIncrementalAngles:

@@ -91,6 +91,36 @@ class TestFaultPlan:
         assert FaultPlan().empty
         assert not FaultPlan().kill(rank=0, step=0).empty
 
+    def test_parse_rejects_duplicates(self):
+        """A repeated spec is a typo, not a request for the fault twice."""
+        with pytest.raises(ValueError, match="duplicate fault spec"):
+            FaultPlan.parse(["kill:1:3", " kill:1:3 "])
+        with pytest.raises(ValueError, match="duplicate fault spec"):
+            FaultPlan.parse(["timeout:2", "timeout:2"])
+
+    def test_unfired_reports_what_never_landed(self):
+        """A plan that schedules past the end of the run is caught, not
+        silently a weaker rehearsal than the test believed."""
+        plan = FaultPlan.parse(["kill:1:3", "timeout:2:2", "straggle:0:0.25"])
+        assert sorted(plan.unfired()) == [
+            "kill:1:3",
+            "straggle:0:0.25",
+            "timeout:2:2",
+        ]
+        plan.take_kills(3)
+        plan.note_timeout(2)
+        assert plan.unfired() == ["timeout:2:1", "straggle:0:0.25"]
+        plan.note_timeout(2)
+        plan.skew(0, 0)
+        assert plan.unfired() == []
+
+    def test_injected_timeouts_count_as_fired(self, rng):
+        comm = FaultyCommunicator(2, FaultPlan().timeout(step=0, attempts=1))
+        comm.advance(0)
+        with pytest.raises(CollectiveTimeout):
+            comm.allreduce_sum([rng.standard_normal(3) for _ in range(2)])
+        assert comm.plan.unfired() == []
+
 
 class TestFaultyCommunicator:
     def test_no_faults_is_transparent(self, rng):
