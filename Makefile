@@ -1,0 +1,16 @@
+# Test tiers.
+#
+# `make test` is tier 1 — the full suite, the command CI and the
+# acceptance gate run.  `make quicktest` skips tests marked `slow`
+# (bench smoke runs and hypothesis-heavy property suites; see
+# pytest.ini) for a fast inner-loop signal.
+
+PYTEST = PYTHONPATH=src python -m pytest -x -q
+
+.PHONY: test quicktest
+
+test:
+	$(PYTEST)
+
+quicktest:
+	$(PYTEST) -m "not slow"

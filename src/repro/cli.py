@@ -364,6 +364,46 @@ def _add_serve(sub: argparse._SubParsersAction) -> None:
         "shared program cache (elastic serving, mirroring train "
         "--inject-fault recovery) instead of draining it permanently",
     )
+    p.add_argument(
+        "--tenants",
+        default="",
+        metavar="SPECS",
+        help="comma-separated tenant policies NAME[:WEIGHT[:MAX_PENDING]] "
+        "(e.g. 'screening:1,analyst:4:32'); requests are assigned "
+        "round-robin across tenants and scheduled by start-time "
+        "weighted-fair queuing over modeled batch cost, with per-tenant "
+        "admission quotas (MAX_PENDING, 0: unbounded) shed as typed "
+        "EngineOverloaded errors",
+    )
+    p.add_argument(
+        "--class",
+        dest="request_class",
+        choices=("bulk", "interactive", "mixed"),
+        default="bulk",
+        help="request class for the stream: 'interactive' flushes partial "
+        "batches 5x sooner than the engine-wide wait, 'bulk' keeps the "
+        "engine default, 'mixed' alternates (every 4th request "
+        "interactive)",
+    )
+    p.add_argument(
+        "--sla",
+        type=float,
+        default=0.0,
+        metavar="SECONDS",
+        help="interactive-class modeled p95 target for --autoscale (0: "
+        "half the engine-wide max wait)",
+    )
+    p.add_argument(
+        "--autoscale",
+        type=int,
+        default=0,
+        metavar="MAX_WORKERS",
+        help="load-driven elasticity: scale the fleet out (up to "
+        "MAX_WORKERS replicas on the shared program cache, zero "
+        "recaptures) when interactive modeled p95 breaches the SLA for "
+        "consecutive scans, and drain-and-retire replicas when idle "
+        "(0: fixed fleet)",
+    )
 
 
 def _add_profile(sub: argparse._SubParsersAction) -> None:
@@ -768,8 +808,11 @@ def cmd_serve(args: argparse.Namespace) -> int:
     from repro.graph.crystal_graph import build_graph
     from repro.model import CHGNet, FastCHGNet
     from repro.serve import (
+        AutoscaleConfig,
         DeadlineExceeded,
+        EngineOverloaded,
         InferenceEngine,
+        TenantPolicy,
         WorkerFailure,
         WorkerFaultPlan,
     )
@@ -784,6 +827,21 @@ def cmd_serve(args: argparse.Namespace) -> int:
         raise SystemExit(f"--max-retries must be non-negative, got {args.max_retries}")
     if args.deadline < 0:
         raise SystemExit(f"--deadline must be non-negative, got {args.deadline}")
+    tenants = None
+    if args.tenants:
+        try:
+            tenants = [TenantPolicy.parse(spec) for spec in args.tenants.split(",")]
+        except ValueError as exc:
+            raise SystemExit(f"--tenants: {exc}")
+    if args.sla < 0:
+        raise SystemExit(f"--sla must be non-negative, got {args.sla}")
+    if args.autoscale < 0:
+        raise SystemExit(f"--autoscale must be non-negative, got {args.autoscale}")
+    if args.autoscale and args.autoscale < args.workers:
+        raise SystemExit(
+            f"--autoscale ceiling ({args.autoscale}) must be >= --workers "
+            f"({args.workers})"
+        )
 
     rng = np.random.default_rng(args.seed)
     if args.variant == "chgnet":
@@ -802,21 +860,48 @@ def cmd_serve(args: argparse.Namespace) -> int:
     ]
     stream = [graphs[i % len(graphs)] for i in range(args.requests)]
 
+    max_wait = 0.05  # the engine default, spelled out so --sla can scale to it
+    autoscale = None
+    if args.autoscale:
+        autoscale = AutoscaleConfig(
+            sla_p95=args.sla if args.sla > 0 else max_wait / 2.0,
+            max_workers=args.autoscale,
+            min_workers=args.workers,
+        )
     engine = InferenceEngine(
         model,
         n_workers=args.workers,
         compile=args.compile,
         max_batch_structs=args.batch_structs,
+        max_wait=max_wait,
         merge_tiers=args.merge_tiers,
         memoize=args.memoize,
         fault_plan=fault_plan,
         max_retries=args.max_retries,
         hedge=args.hedge,
         replace_workers=args.replace_workers,
+        tenants=tenants,
+        paced=tenants is not None,
+        autoscale=autoscale,
     )
-    # The async submit/poll queue exercises deadlines, tier merging and
-    # mid-stream publishes; the synchronous path packs full per-tier groups.
-    use_queue = args.publish_every > 0 or args.merge_tiers or args.deadline > 0
+    tenant_names = [p.name for p in tenants] if tenants else [None]
+
+    def _request_class(i: int) -> str:
+        if args.request_class == "mixed":
+            return "interactive" if i % 4 == 3 else "bulk"
+        return args.request_class
+
+    # The async submit/poll queue exercises deadlines, tier merging,
+    # mid-stream publishes and multi-tenant scheduling; the synchronous
+    # path packs full per-tier groups.
+    use_queue = (
+        args.publish_every > 0
+        or args.merge_tiers
+        or args.deadline > 0
+        or tenants is not None
+        or autoscale is not None
+        or args.request_class != "bulk"
+    )
 
     def _drive_queue(stream):
         dt = engine.max_wait / 4  # a handful of arrivals per deadline window
@@ -829,16 +914,28 @@ def cmd_serve(args: argparse.Namespace) -> int:
                 # snapshotting unchanged weights still proves the swap is
                 # recapture-free (and keeps --baseline comparable).
                 engine.publish_weights()
-            ids.append(
-                engine.submit(
-                    graph, now=start + i * dt, deadline=args.deadline or None
+            try:
+                ids.append(
+                    engine.submit(
+                        graph,
+                        now=start + i * dt,
+                        deadline=args.deadline or None,
+                        tenant=tenant_names[i % len(tenant_names)],
+                        request_class=_request_class(i),
+                    )
                 )
-            )
+            except EngineOverloaded:
+                # Quota shed at admission: the tenant's pending backlog is
+                # full; keep the stream aligned with a None marker.
+                ids.append(None)
         engine.flush()
         out = []
         for request_id in ids:
             # Shed requests (missed deadline, every retry failed) surface
             # as typed errors; keep the stream aligned with None markers.
+            if request_id is None:
+                out.append(None)
+                continue
             try:
                 out.append(engine.poll(request_id))
             except (DeadlineExceeded, WorkerFailure):
@@ -896,6 +993,25 @@ def cmd_serve(args: argparse.Namespace) -> int:
         )
         if fault_plan is not None and fault_plan.unfired():
             print(f"  warning: planned faults never fired: {fault_plan.unfired()}")
+    if tenants is not None or args.request_class != "bulk":
+        for name in sorted(snap["tenants"]):
+            block = snap["tenants"][name]
+            print(
+                f"tenant {name} (weight {engine.tenants[name].weight:g}): "
+                f"{block['served']} served, {block['shed']} shed, "
+                f"{block['expired']} expired, "
+                f"p95 {block['latency_p95'] * 1e3:.1f} ms"
+            )
+        for cls in sorted(snap["class_latency_p95"]):
+            print(
+                f"class {cls}: modeled p95 "
+                f"{snap['class_latency_p95'][cls] * 1e3:.1f} ms"
+            )
+    if autoscale is not None:
+        print(
+            f"autoscale: +{snap['scale_outs']} scale-outs / "
+            f"-{snap['scale_ins']} scale-ins, final fleet size {engine.fleet_size}"
+        )
     print(
         f"modeled latency p50 {snap['latency_p50'] * 1e3:.1f} ms, "
         f"p95 {snap['latency_p95'] * 1e3:.1f} ms"

@@ -9,15 +9,32 @@ from repro.serve.engine import (
     percentile,
 )
 from repro.serve.faults import DeadlineExceeded, WorkerFailure, WorkerFaultPlan
+from repro.serve.scheduler import Autoscaler, AutoscaleConfig, FairScheduler
+from repro.serve.tenants import (
+    DEFAULT_CLASS,
+    DEFAULT_TENANT,
+    ClassPolicy,
+    TenantPolicy,
+    TenantStats,
+    standard_classes,
+)
 
 __all__ = [
+    "Autoscaler",
+    "AutoscaleConfig",
+    "ClassPolicy",
+    "DEFAULT_CLASS",
+    "DEFAULT_TENANT",
     "DeadlineExceeded",
     "EngineClosed",
     "EngineOverloaded",
     "EngineStats",
     "InferenceEngine",
     "Prediction",
+    "TenantPolicy",
+    "TenantStats",
     "WorkerFailure",
     "WorkerFaultPlan",
     "percentile",
+    "standard_classes",
 ]

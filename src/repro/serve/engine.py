@@ -66,6 +66,29 @@ Workers and the shared program cache
     :mod:`repro.comm.scaling`), which yields per-request latencies for
     p50/p95 reporting.
 
+Multi-tenant SLA serving
+    Requests carry a **tenant** id and a **request class** (``interactive``
+    / ``bulk``, per-class flush wait and default deadline —
+    :mod:`repro.serve.tenants`).  Inside each ``(version, tier)`` queue,
+    requests dispatch in **weighted-fair order**: every accepted request
+    is stamped with a start-time-fair-queuing tag over its modeled
+    workload cost (:class:`~repro.serve.scheduler.FairScheduler`), so a
+    tenant flooding the queue with a bulk sweep cannot starve another
+    tenant's interactive trickle — with one tenant and one class the tags
+    are FIFO and the schedule is bit-for-bit the pre-tenancy engine.
+    Admission control is per tenant (bounded ``max_pending`` quotas shed
+    with typed :class:`EngineOverloaded`) on top of the global bound, and
+    :class:`~repro.serve.tenants.TenantStats` blocks account every
+    tenant's served/shed/expired/failed/padding/latency story inside
+    :class:`EngineStats`.  With ``paced=True`` queued work is dispatched
+    **when a worker's virtual clock is actually free** instead of
+    immediately on flush, which is what lets fair ordering (and the
+    autoscaler's SLA signal) bite under backlog; ``flush()`` still
+    force-drains.  An :class:`~repro.serve.scheduler.Autoscaler` can grow
+    the fleet (fresh replicas on the shared program cache, zero
+    recaptures) when the watched class's modeled p95 breaches its SLA for
+    K consecutive drain scans, and drain-and-retire workers when idle.
+
 Fault tolerance
     Workers can fail.  A :class:`~repro.serve.faults.WorkerFaultPlan` kills,
     flakes or straggles individual workers at dispatch time; a dead worker
@@ -121,6 +144,15 @@ from repro.graph.batching import (
 from repro.graph.crystal_graph import CrystalGraph, build_graph
 from repro.model.chgnet import CHGNetModel
 from repro.serve.faults import DeadlineExceeded, WorkerFailure, WorkerFaultPlan
+from repro.serve.scheduler import Autoscaler, AutoscaleConfig, FairScheduler
+from repro.serve.tenants import (
+    DEFAULT_CLASS,
+    DEFAULT_TENANT,
+    ClassPolicy,
+    TenantPolicy,
+    TenantStats,
+    standard_classes,
+)
 from repro.structures.crystal import Crystal
 from repro.tensor import no_grad
 from repro.tensor.compile import InferenceCompiler, SharedProgramCache
@@ -205,8 +237,20 @@ class EngineStats:
     deadline_misses: int = 0
     #: dead workers replaced in place by a fresh replica
     worker_replacements: int = 0
+    #: requests rejected at submit by a per-tenant pending quota
+    quota_shed: int = 0
+    #: requests shed terminally after exhausting worker-failure retries
+    failed: int = 0
+    #: workers added (or retired slots reactivated) by scale-out
+    scale_outs: int = 0
+    #: workers drained and retired by idle scale-in
+    scale_ins: int = 0
     #: most recent per-request latencies (bounded sliding window)
     latencies: deque = field(default_factory=lambda: deque(maxlen=_LATENCY_WINDOW))
+    #: per-request-class latency windows (same bound), for SLA reporting
+    class_latencies: dict = field(default_factory=dict)
+    #: per-tenant accounting blocks (see :class:`~repro.serve.tenants.TenantStats`)
+    tenants: dict = field(default_factory=dict)
 
     @property
     def hit_rate(self) -> float:
@@ -224,6 +268,26 @@ class EngineStats:
         """Collate-memoization hit rate (0 when memoization is off)."""
         total = self.collate_hits + self.collate_misses
         return self.collate_hits / total if total else 0.0
+
+    def tenant(self, name: str) -> TenantStats:
+        """The accounting block for ``name`` (created on first touch)."""
+        stats = self.tenants.get(name)
+        if stats is None:
+            stats = self.tenants[name] = TenantStats()
+        return stats
+
+    def record_class_latency(self, request_class: str, latency: float) -> None:
+        """Append one completion to ``request_class``'s latency window."""
+        window = self.class_latencies.get(request_class)
+        if window is None:
+            window = self.class_latencies[request_class] = deque(
+                maxlen=_LATENCY_WINDOW
+            )
+        window.append(latency)
+
+    def class_p95(self, request_class: str) -> float:
+        """Modeled p95 latency of one request class (0 with no samples)."""
+        return percentile(self.class_latencies.get(request_class, ()), 95)
 
     def as_dict(self) -> dict:
         """Flat dict of all counters plus derived rates (for benches/CLI)."""
@@ -247,9 +311,24 @@ class EngineStats:
             "hedge_wins": self.hedge_wins,
             "deadline_misses": self.deadline_misses,
             "worker_replacements": self.worker_replacements,
+            "quota_shed": self.quota_shed,
+            "failed": self.failed,
+            "scale_outs": self.scale_outs,
+            "scale_ins": self.scale_ins,
             "padding_overhead": self.padding_overhead,
             "latency_p50": percentile(self.latencies, 50),
             "latency_p95": percentile(self.latencies, 95),
+            "class_latency_p50": {
+                name: percentile(window, 50)
+                for name, window in sorted(self.class_latencies.items())
+            },
+            "class_latency_p95": {
+                name: percentile(window, 95)
+                for name, window in sorted(self.class_latencies.items())
+            },
+            "tenants": {
+                name: stats.as_dict() for name, stats in sorted(self.tenants.items())
+            },
         }
 
 
@@ -262,6 +341,12 @@ class _Pending:
     dims: tuple[int, int, int, int]
     deadline: float | None = None  # absolute, on the engine's virtual clock
     retries: int = 0  # re-dispatches consumed after worker failures
+    tenant: str = DEFAULT_TENANT
+    cls: str = DEFAULT_CLASS
+    wait: float = 0.0  # effective flush wait (the class's, else the engine's)
+    cost: int = 0  # modeled workload cost (the fair scheduler's currency)
+    tag: float = 0.0  # weighted-fair virtual start tag
+    seq: int = 0  # arrival tie-break (FIFO within equal tags)
 
 
 class InferenceEngine:
@@ -347,6 +432,35 @@ class InferenceEngine:
         mirroring :func:`repro.train.run_elastic`'s replace-recovery; the
         replacement installs whatever version its next batch is pinned
         to.  ``False`` drains dead workers permanently.
+    tenants:
+        Tenant policies (:class:`~repro.serve.tenants.TenantPolicy` list,
+        or a ``name -> policy`` dict): fair-share weights and per-tenant
+        pending quotas.  When given, submits naming an undeclared tenant
+        are rejected with ``ValueError`` (closed-world admission) and
+        weighted-fair ordering defaults on; ``None`` leaves the tenant
+        world open (any label auto-registers at weight 1).
+    classes:
+        Request-class policies (``name -> ClassPolicy``); ``None``
+        installs the stock ``interactive``/``bulk`` pair
+        (:func:`~repro.serve.tenants.standard_classes`).  The default
+        class (``bulk``) always behaves exactly like the pre-tenancy
+        engine: global ``max_wait``, no default deadline.
+    fair:
+        Dispatch each queue in weighted-fair (start-tag) order instead of
+        FIFO.  Default: on iff ``tenants`` were declared.  With one
+        tenant and one class the fair order *is* FIFO, bit-for-bit.
+    paced:
+        Hold queued work until a worker's virtual clock is actually free
+        (discrete-event dispatch) instead of dispatching every ready
+        group immediately.  This is what gives fair ordering leverage
+        under backlog — later interactive arrivals overtake queued bulk
+        work — and makes the SLA signal honest.  ``flush()`` (and
+        therefore ``shutdown()``) still force-drains everything.
+    autoscale:
+        :class:`~repro.serve.scheduler.AutoscaleConfig` enabling
+        load-driven elasticity: scale out on sustained watched-class p95
+        SLA breach, drain-and-retire when idle.  New workers are fresh
+        replicas on the shared program cache — zero recaptures.
     """
 
     def __init__(
@@ -370,6 +484,11 @@ class InferenceEngine:
         breaker_threshold: int = 2,
         breaker_cooldown: float = 1.0,
         replace_workers: bool = False,
+        tenants: list[TenantPolicy] | dict[str, TenantPolicy] | None = None,
+        classes: dict[str, ClassPolicy] | None = None,
+        fair: bool | None = None,
+        paced: bool = False,
+        autoscale: AutoscaleConfig | None = None,
     ) -> None:
         if n_workers < 1:
             raise ValueError(f"n_workers must be >= 1, got {n_workers}")
@@ -419,6 +538,31 @@ class InferenceEngine:
         self.breaker_threshold = int(breaker_threshold)
         self.breaker_cooldown = float(breaker_cooldown)
         self.replace_workers = replace_workers
+        if isinstance(tenants, dict):
+            tenant_policies = dict(tenants)
+        elif tenants is not None:
+            tenant_policies = {p.name: p for p in tenants}
+            if len(tenant_policies) != len(tenants):
+                raise ValueError("duplicate tenant names in tenants")
+        else:
+            tenant_policies = None
+        self._closed_tenants = tenant_policies is not None
+        self.tenants: dict[str, TenantPolicy] = tenant_policies or {}
+        for policy in self.tenants.values():
+            policy.validate()
+        self.classes: dict[str, ClassPolicy] = (
+            standard_classes(self.max_wait) if classes is None else dict(classes)
+        )
+        for policy in self.classes.values():
+            policy.validate()
+        self.classes.setdefault(DEFAULT_CLASS, ClassPolicy(DEFAULT_CLASS))
+        self.fair = self._closed_tenants if fair is None else bool(fair)
+        self.paced = bool(paced)
+        self.scheduler = FairScheduler(
+            {name: p.weight for name, p in self.tenants.items()}
+        )
+        self.autoscaler = Autoscaler(autoscale) if autoscale is not None else None
+        self._tenant_pending: dict[str, int] = {}
         self._closed = False
         self.workers: list[CHGNetModel] = [
             CHGNetModel(model.config, np.random.default_rng(w))
@@ -442,6 +586,9 @@ class InferenceEngine:
         self._dead: set[int] = set()
         self._consec_failures = [0] * n_workers
         self._drained_until: list[float | None] = [None] * n_workers
+        # Elastic fleet: retired workers stay in place (indices are stable
+        # for fault plans and stats) but leave the dispatch rotation.
+        self._retired = [False] * n_workers
         # (version, tier) -> FIFO of pending requests
         self._queues: dict[tuple[int, int], list[_Pending]] = {}
         self._results: dict[int, Prediction] = {}
@@ -574,42 +721,95 @@ class InferenceEngine:
                 self._graph_cache.popitem(last=False)
         return graph
 
+    def _resolve_tenant(self, tenant: str | None) -> TenantPolicy:
+        """The policy for ``tenant``, auto-registering in an open world.
+
+        With declared ``tenants`` the world is closed: unknown names are a
+        caller bug (``ValueError``), not a shed.  Without declarations any
+        label is admitted at weight 1 with no quota.
+        """
+        name = DEFAULT_TENANT if tenant is None else tenant
+        policy = self.tenants.get(name)
+        if policy is None:
+            if self._closed_tenants:
+                raise ValueError(f"tenant {name!r} is not declared on this engine")
+            policy = self.tenants[name] = TenantPolicy(name)
+            self.scheduler.register(name, policy.weight)
+        return policy
+
+    def _resolve_class(self, request_class: str | None) -> ClassPolicy:
+        """The policy for ``request_class`` (default class when ``None``)."""
+        name = DEFAULT_CLASS if request_class is None else request_class
+        policy = self.classes.get(name)
+        if policy is None:
+            raise ValueError(
+                f"request class {name!r} is not declared on this engine "
+                f"(have {sorted(self.classes)})"
+            )
+        return policy
+
     def submit(
         self,
         item: Crystal | CrystalGraph,
         now: float | None = None,
         version: int | None = None,
         deadline: float | None = None,
+        tenant: str | None = None,
+        request_class: str | None = None,
     ) -> int:
         """Enqueue one structure; returns its request id.
 
         The request is pinned to ``version`` (default: the current one) and
         is served on exactly those weights even if newer versions are
-        published while it waits.  Full tier queues flush immediately;
-        partial queues wait for more same-tier work until ``max_wait``
-        passes on the ``now`` clock.
+        published while it waits.  Full tier queues flush immediately
+        (when a worker is free, on a ``paced`` engine); partial queues
+        wait for more same-tier work until the request class's flush wait
+        (default: the engine's ``max_wait``) passes on the ``now`` clock.
 
-        ``deadline`` is a relative budget in virtual seconds: a request
-        still *queued* when ``now`` passes ``submit-time + deadline`` is
-        shed (counted in ``stats.deadline_misses``) and its :meth:`poll`
-        raises :class:`~repro.serve.faults.DeadlineExceeded` — nobody is
+        ``tenant`` names the submitting tenant: the request is stamped
+        with the tenant's weighted-fair start tag and counted against its
+        pending quota and :class:`~repro.serve.tenants.TenantStats` block.
+        ``request_class`` picks the latency class (``interactive`` /
+        ``bulk`` by default); a class may carry a shorter flush wait and
+        a default deadline.
+
+        ``deadline`` is a relative budget in virtual seconds (default:
+        the class's): a request still *queued* when ``now`` passes
+        ``submit-time + deadline`` is shed (counted in
+        ``stats.deadline_misses``) and its :meth:`poll` raises
+        :class:`~repro.serve.faults.DeadlineExceeded` — nobody is
         waiting for a late answer, so no worker time is burned on one.
         A request already dispatched always completes.
 
         Raises :class:`EngineClosed` after :meth:`shutdown`,
-        :class:`EngineOverloaded` when a bounded queue is full (the shed is
-        counted, nothing is enqueued), and ``ValueError`` for structures
-        with non-finite coordinates (one poisoned request fails without
-        touching anything already queued).
+        :class:`EngineOverloaded` when the global queue bound or the
+        tenant's quota is full (the shed is counted, nothing is
+        enqueued), and ``ValueError`` for undeclared tenants/classes and
+        structures with non-finite coordinates (one poisoned request
+        fails without touching anything already queued).
         """
         if self._closed:
             raise EngineClosed("engine is shut down; submit rejected")
+        policy = self._resolve_tenant(tenant)
+        cls = self._resolve_class(request_class)
+        tenant_stats = self.stats.tenant(policy.name)
         if self.max_pending and self.pending >= self.max_pending:
             self.stats.load_shed += 1
+            tenant_stats.shed += 1
             raise EngineOverloaded(
                 f"pending queue full ({self.pending}/{self.max_pending}); request shed"
             )
-        if deadline is not None and deadline < 0:
+        tenant_pending = self._tenant_pending.get(policy.name, 0)
+        if policy.max_pending and tenant_pending >= policy.max_pending:
+            self.stats.quota_shed += 1
+            tenant_stats.shed += 1
+            raise EngineOverloaded(
+                f"tenant {policy.name!r} quota full "
+                f"({tenant_pending}/{policy.max_pending}); request shed"
+            )
+        if deadline is None:
+            deadline = cls.deadline
+        elif deadline < 0:
             raise ValueError(f"deadline must be non-negative, got {deadline}")
         now = self._advance(now)
         if version is None:
@@ -626,17 +826,38 @@ class InferenceEngine:
         request_id = self._next_id
         self._next_id += 1
         self.stats.requests += 1
-        key = (version, workload_tier(dims))
-        self._queues.setdefault(key, []).append(
-            _Pending(
-                request_id,
-                graph,
-                now,
-                version,
-                dims,
-                deadline=None if deadline is None else now + float(deadline),
-            )
+        tenant_stats.submitted += 1
+        self._tenant_pending[policy.name] = tenant_pending + 1
+        cost = workload_cost(*dims)
+        if self.fair:
+            tag, seq = self.scheduler.tag(policy.name, cost)
+        else:
+            tag, seq = 0.0, request_id
+        pending = _Pending(
+            request_id,
+            graph,
+            now,
+            version,
+            dims,
+            deadline=None if deadline is None else now + float(deadline),
+            tenant=policy.name,
+            cls=cls.name,
+            wait=self.max_wait if cls.max_wait is None else cls.max_wait,
+            cost=cost,
+            tag=tag,
+            seq=seq,
         )
+        queue = self._queues.setdefault((version, workload_tier(dims)), [])
+        if self.fair:
+            # Keep the queue in (tag, seq) dispatch order.  Tags are
+            # nondecreasing per tenant, so single-tenant streams insert at
+            # the end — exactly the FIFO append of the pre-tenancy engine.
+            i = len(queue)
+            while i > 0 and (queue[i - 1].tag, queue[i - 1].seq) > (tag, seq):
+                i -= 1
+            queue.insert(i, pending)
+        else:
+            queue.append(pending)
         self._flush_ready(now)
         return request_id
 
@@ -665,10 +886,20 @@ class InferenceEngine:
 
         ``merge`` controls whether partial tail groups absorb adjacent-tier
         requests (default: the engine's ``merge_tiers`` setting).  Returns
-        the number of batches dispatched.
+        the number of batches dispatched.  On a ``paced`` engine the
+        force-drain dispatches in global weighted-fair order (smallest
+        start tag first across every queue) rather than per-key FIFO, so
+        the backlog's modeled latencies still respect tenant shares.
         """
         now = self._advance(now)
         merge = self.merge_tiers if merge is None else merge
+        if self.paced:
+            for key in list(self._queues):
+                self._queues[key] = self._shed_expired(self._queues[key], now)
+            n = 0
+            while self._dispatch_next(now, merge, force=True):
+                n += 1
+            return n
         return sum(
             self._drain(key, now, merge, lambda queue: True)
             for key in sorted(self._queues)
@@ -704,12 +935,29 @@ class InferenceEngine:
         return self._now
 
     def _flush_ready(self, now: float) -> None:
+        """One drain scan: shed, autoscale, dispatch whatever is ready.
+
+        Unpaced engines dispatch every ready group immediately (the
+        pre-tenancy behavior, with per-class flush waits); paced engines
+        dispatch ready groups only while a worker's virtual clock is
+        actually free at ``now``, in global weighted-fair order.
+        """
+        if self.autoscaler is not None:
+            self.autoscaler.scan(self, now)
+        if self.paced:
+            for key in list(self._queues):
+                self._queues[key] = self._shed_expired(self._queues[key], now)
+            while self._idle_worker(now) and self._dispatch_next(
+                now, self.merge_tiers, force=False
+            ):
+                pass
+            return
         for key in sorted(self._queues):
             self._drain(
                 key,
                 now,
                 self.merge_tiers,
-                lambda queue: now - queue[0].submitted >= self.max_wait,
+                lambda queue: any(now - p.submitted >= p.wait for p in queue),
             )
 
     def _drain(self, key: tuple[int, int], now: float, merge: bool, tail) -> int:
@@ -750,12 +998,60 @@ class InferenceEngine:
         for pending in queue:
             if pending.deadline is not None and now > pending.deadline:
                 self.stats.deadline_misses += 1
+                self.stats.tenant(pending.tenant).expired += 1
+                self._tenant_pending[pending.tenant] -= 1
                 self._failed[pending.request_id] = DeadlineExceeded(
                     pending.request_id, pending.deadline, now
                 )
             else:
                 kept.append(pending)
         return kept
+
+    def _idle_worker(self, now: float) -> bool:
+        """Whether any believed-healthy, non-retired worker is free at ``now``."""
+        for w in range(self.n_workers):
+            if self._retired[w]:
+                continue
+            until = self._drained_until[w]
+            if until is not None and until > now:
+                continue
+            if self._worker_free[w] <= now:
+                return True
+        return False
+
+    def _dispatch_next(self, now: float, merge: bool, force: bool) -> bool:
+        """Dispatch the weighted-fair next ready group, if any (paced mode).
+
+        A queue is *ready* when it holds a full group or any member's
+        flush wait has expired (``force`` makes every non-empty queue
+        ready); among ready queues the one whose head carries the
+        smallest ``(tag, seq)`` wins, so dispatch order across tiers and
+        versions follows the fair schedule, not the key sort.  Returns
+        whether a group was dispatched.
+        """
+        best_key = None
+        best_rank = None
+        for key, queue in self._queues.items():
+            if not queue:
+                continue
+            if not (
+                force
+                or len(queue) >= self.max_batch_structs
+                or any(now - p.submitted >= p.wait for p in queue)
+            ):
+                continue
+            rank = (queue[0].tag, queue[0].seq)
+            if best_rank is None or rank < best_rank:
+                best_key, best_rank = key, rank
+        if best_key is None:
+            return False
+        queue = self._queues[best_key]
+        group = queue[: self.max_batch_structs]
+        self._queues[best_key] = queue[self.max_batch_structs :]
+        if merge and len(group) < self.max_batch_structs:
+            group = self._merge_partial(best_key, group, now)
+        self._dispatch(group, now)
+        return True
 
     # ------------------------------------------------------- adaptive merging
     def _canonical_seeds(self, dims_list: list[tuple]) -> tuple:
@@ -1002,7 +1298,7 @@ class InferenceEngine:
         """
         best = None
         for w in range(self.n_workers):
-            if w == exclude:
+            if w == exclude or self._retired[w]:
                 continue
             until = self._drained_until[w]
             if until is not None:
@@ -1036,8 +1332,91 @@ class InferenceEngine:
         self._dead.discard(worker)
         self._consec_failures[worker] = 0
         self._drained_until[worker] = None
+        self._retired[worker] = False
         self._worker_free[worker] = max(self._worker_free[worker], now)
         self.stats.worker_replacements += 1
+
+    # ------------------------------------------------------------- elasticity
+    @property
+    def fleet_size(self) -> int:
+        """Workers in (or admissible to) the dispatch rotation.
+
+        Retired workers and permanently drained dead ones don't count;
+        breaker-tripped workers do (they re-admit after cooldown).
+        """
+        return sum(
+            1
+            for w in range(self.n_workers)
+            if not self._retired[w] and self._drained_until[w] != float("inf")
+        )
+
+    def fleet_idle(self, now: float) -> bool:
+        """Whether every active worker's virtual clock is at or behind ``now``."""
+        return all(
+            self._worker_free[w] <= now
+            for w in range(self.n_workers)
+            if not self._retired[w] and self._drained_until[w] != float("inf")
+        )
+
+    def add_worker(self, now: float | None = None) -> int:
+        """Scale out by one worker; returns its index.
+
+        A retired slot is reactivated first (its replica and compiler are
+        still warm); otherwise a fresh replica joins on the shared
+        program cache — programs are keyed by batch shape and rebind
+        parameters per replay, so growing the fleet captures **nothing**.
+        The new worker installs whatever version its first batch is
+        pinned to (sentinel ``-1``), mirroring :meth:`_replace_worker`.
+        """
+        now = self._advance(now)
+        for w in range(self.n_workers):
+            if self._retired[w] and w not in self._dead:
+                self._retired[w] = False
+                self._consec_failures[w] = 0
+                self._drained_until[w] = None
+                self._worker_free[w] = max(self._worker_free[w], now)
+                self.stats.scale_outs += 1
+                return w
+        w = self.n_workers
+        replica = CHGNetModel(self.model.config, np.random.default_rng(w))
+        self.workers.append(replica)
+        self._worker_params.append(replica.parameters())
+        self._worker_version.append(-1)
+        self._worker_free.append(now)
+        self._consec_failures.append(0)
+        self._drained_until.append(None)
+        self._retired.append(False)
+        if self.compilers is not None:
+            self.compilers.append(InferenceCompiler(replica, cache=self.cache))
+        self.n_workers += 1
+        self.stats.scale_outs += 1
+        return w
+
+    def retire_worker(self, worker: int | None = None) -> int | None:
+        """Drain-and-retire one worker; returns its index (``None`` if not
+        possible).
+
+        The worker leaves the dispatch rotation immediately — modeled
+        work already on its virtual clock finishes (dispatched batches
+        always complete) and nothing new lands on it.  Its replica stays
+        in place so a later :meth:`add_worker` can reactivate the slot
+        (indices stay stable for fault plans and per-worker stats).  The
+        last active worker is never retired.
+        """
+        if worker is None:
+            candidates = [
+                w
+                for w in reversed(range(self.n_workers))
+                if not self._retired[w]
+                and w not in self._dead
+                and self._drained_until[w] != float("inf")
+            ]
+            worker = candidates[0] if candidates else None
+        if worker is None or self._retired[worker] or self.fleet_size <= 1:
+            return None
+        self._retired[worker] = True
+        self.stats.scale_ins += 1
+        return worker
 
     def _dispatch(self, group: list[_Pending], now: float) -> None:
         """Serve one collated group, surviving planned worker faults.
@@ -1051,6 +1430,15 @@ class InferenceEngine:
         shedding only requests that exhausted ``max_retries``.
         """
         version = group[0].version
+        for pending in group:
+            self._tenant_pending[pending.tenant] -= 1
+        if self.fair:
+            # Advance virtual time to the *head's* start tag — the tag the
+            # dispatch decision was made on.  Companions sliced from the
+            # same queue to fill the batch may carry much higher tags;
+            # advancing past them would catapult the clock ahead of the
+            # whole backlog and tag later light-tenant arrivals behind it.
+            self.scheduler.advance(min(p.tag for p in group))
         attempt = 0
         while group:
             dispatch = self._dispatches
@@ -1065,15 +1453,28 @@ class InferenceEngine:
                     (u for u in self._drained_until if u is not None and u != float("inf")),
                     default=None,
                 )
-                if wake is None:
+                if wake is None and any(
+                    self._retired[w] and w not in self._dead
+                    for w in range(self.n_workers)
+                ):
+                    # Every active worker is gone but a healthy retired
+                    # slot remains — an emergency scale-out beats a
+                    # terminal shed (the autoscaler composing with a
+                    # fault plan can hit exactly this corner).
+                    self.add_worker(now)
+                    worker = self._pick_worker(now)
+                elif wake is None:
                     # Every worker is permanently dead and irreplaceable.
                     for pending in group:
                         self._failed[pending.request_id] = WorkerFailure(
                             -1, dispatch, pending.request_id
                         )
+                        self.stats.failed += 1
+                        self.stats.tenant(pending.tenant).failed += 1
                     return
-                now = max(now, wake)
-                worker = self._pick_worker(now)
+                else:
+                    now = max(now, wake)
+                    worker = self._pick_worker(now)
             failed = worker in self._dead or (
                 self.fault_plan is not None
                 and self.fault_plan.take_flake(worker, dispatch)
@@ -1097,6 +1498,8 @@ class InferenceEngine:
                         self._failed[pending.request_id] = WorkerFailure(
                             worker, dispatch, pending.request_id
                         )
+                        self.stats.failed += 1
+                        self.stats.tenant(pending.tenant).failed += 1
                     else:
                         self.stats.retries += 1
                         survivors.append(pending)
@@ -1164,14 +1567,15 @@ class InferenceEngine:
             self.stats.cache_misses += self.cache.misses - before[1]
         dims_list = [p.dims for p in group]
         raw = sum(workload_cost(*d) for d in dims_list)
-        self.stats.raw_cost += raw
-        self.stats.padded_cost += (
+        padded = (
             workload_cost(
                 *group_padded_targets(dims_list, seeds=self._canonical_seeds(dims_list))
             )
             if self.compilers is not None
             else raw
         )
+        self.stats.raw_cost += raw
+        self.stats.padded_cost += padded
         if len({workload_tier(d) for d in dims_list}) > 1:
             self.stats.merged_batches += 1
         self._worker_free[worker] = finish
@@ -1182,6 +1586,18 @@ class InferenceEngine:
             e_pa = float(out["energy"][i])
             latency = served_at - pending.submitted
             self.stats.latencies.append(latency)
+            self.stats.record_class_latency(pending.cls, latency)
+            if self.autoscaler is not None:
+                self.autoscaler.record(pending.cls, latency)
+            ts = self.stats.tenant(pending.tenant)
+            ts.served += 1
+            ts.latencies.append(latency)
+            pending_cost = workload_cost(*pending.dims)
+            ts.raw_cost += pending_cost
+            # Padded batch cost is priced per batch; attribute each
+            # request its raw-cost-proportional share so tenant blocks
+            # sum to the global counter.
+            ts.padded_cost += padded * pending_cost / raw if raw else 0
             self._results[pending.request_id] = Prediction(
                 request_id=pending.request_id,
                 energy=e_pa * (a1 - a0),

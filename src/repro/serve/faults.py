@@ -26,6 +26,15 @@ test can assert the rehearsed failure actually happened.
 :class:`DeadlineExceeded` is the per-request deadline miss the engine
 raises from :meth:`~repro.serve.engine.InferenceEngine.poll` when a
 request expired in the queue before it could be served.
+
+Elastic fleets (PR 10) keep plans meaningful: worker indices are *stable*
+for the engine's whole lifetime — retiring a worker marks its slot
+retired instead of removing it, and scale-out reactivates retired slots
+before appending fresh replicas — so a plan's worker index always names
+the same replica, and a kill may target a worker that only joins the
+rotation via a later scale-out.  The global dispatch index likewise keeps
+counting across scale events, so ``unfired()`` remains an exact proof of
+which rehearsed faults landed on an autoscaled fleet.
 """
 
 from __future__ import annotations

@@ -9,6 +9,8 @@ from pathlib import Path
 
 import pytest
 
+pytestmark = pytest.mark.slow
+
 BENCH = Path(__file__).resolve().parents[1] / "benchmarks" / "bench_serve_faults.py"
 
 

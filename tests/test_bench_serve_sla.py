@@ -1,0 +1,57 @@
+"""The multi-tenant SLA serving benchmark's smoke mode must run end-to-end."""
+
+from __future__ import annotations
+
+import importlib.util
+import json
+import sys
+from pathlib import Path
+
+import pytest
+
+pytestmark = pytest.mark.slow
+
+BENCH = Path(__file__).resolve().parents[1] / "benchmarks" / "bench_serve_sla.py"
+
+
+@pytest.fixture(scope="module")
+def bench_module():
+    spec = importlib.util.spec_from_file_location("bench_serve_sla", BENCH)
+    module = importlib.util.module_from_spec(spec)
+    sys.modules[spec.name] = module
+    spec.loader.exec_module(module)
+    return module
+
+
+def test_smoke_runs_end_to_end(bench_module, tmp_path):
+    out = tmp_path / "BENCH_serve_sla.json"
+    results = bench_module.main(["--smoke", "--out", str(out)])
+
+    assert results["mode"] == "smoke"
+    r = results["workloads"]["medium"]
+    # the headline: weighted-fair + pacing beats FIFO on interactive p95
+    # by at least the acceptance floor, at equal worker count
+    assert r["meets_p95_floor"] is True
+    assert r["interactive_p95_ratio"] >= bench_module.P95_FLOOR
+    # both runs bit-identical to solo eager inference — scheduling only
+    # reorders, it never changes a single bit
+    assert r["fifo_bit_identical"] is True
+    assert r["sla_bit_identical"] is True
+    assert r["autoscale_bit_identical"] is True
+    # conservation + per-tenant accounting invariants hold everywhere
+    assert r["fifo_invariants"] is True
+    assert r["sla_invariants"] is True
+    assert r["autoscale_invariants"] is True
+    # the 1-worker fleet breached the tightened SLA and scaled out, then
+    # drained back when the stream went idle
+    assert r["autoscale_scale_outs"] >= 1
+    assert r["autoscale_scale_ins"] >= 1
+    # per-tenant blocks made it into the snapshot
+    assert set(r["sla_tenants"]) == {"screening", "analyst"}
+
+    # the JSON artifact is well-formed and carries the headline fields
+    written = json.loads(out.read_text())
+    assert written["medium_meets_p95_floor"] is True
+    assert written["medium_interactive_p95_ratio"] >= written["p95_floor"]
+    assert written["medium_sla_bit_identical"] is True
+    assert written["medium_sla_invariants"] is True

@@ -22,6 +22,8 @@ from repro.comm.faults import FaultPlan, FaultyCommunicator
 from repro.data.samplers import BucketBatchSampler
 from repro.serve.engine import EngineStats, InferenceEngine, Prediction
 from repro.serve.faults import WorkerFaultPlan
+from repro.serve.scheduler import Autoscaler, AutoscaleConfig, FairScheduler
+from repro.serve.tenants import ClassPolicy, TenantPolicy, TenantStats
 from repro.tensor.compile import (
     InferenceCompiler,
     SharedProgramCache,
@@ -44,6 +46,12 @@ DOCUMENTED_CLASSES = [
     FaultyCommunicator,
     WorkerFaultPlan,
     Trainer,
+    FairScheduler,
+    Autoscaler,
+    AutoscaleConfig,
+    TenantPolicy,
+    ClassPolicy,
+    TenantStats,
 ]
 
 

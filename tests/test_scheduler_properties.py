@@ -1,0 +1,152 @@
+"""Property tests for start-time fair queuing (hypothesis, marked slow).
+
+Three contracts from ISSUE 10, checked over generated workloads rather
+than hand-picked examples:
+
+* **weighted-fair bound** — while two tenants are both backlogged, the
+  difference of their normalized service (cost received / weight) is
+  bounded by one maximum request cost per tenant: ``|S_i/w_i - S_j/w_j|
+  <= c_max_i/w_i + c_max_j/w_j``;
+* **no starvation** — under adversarial arrival orders, the total cost
+  dispatched before any request r is bounded by ``sum_j(w_j) * r.tag +
+  sum_j(c_max_j)`` — a tagged request can only be overtaken by a
+  bounded amount of service, never indefinitely;
+* **FIFO degeneracy** — a single tenant's ``(tag, seq)`` dispatch order
+  is exactly its arrival order, for any cost sequence.
+
+The engine-level conservation property replays seeded multi-tenant
+traffic through a real (eager) engine via ``tests/serve_harness.py``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+pytest.importorskip("hypothesis")
+
+from hypothesis import given, settings, strategies as st  # noqa: E402
+
+from repro.serve import FairScheduler, InferenceEngine, TenantPolicy  # noqa: E402
+from serve_harness import (  # noqa: E402
+    check_conservation,
+    check_tenant_sums,
+    drive,
+    generate_traffic,
+    make_graphs,
+    make_model,
+)
+
+pytestmark = pytest.mark.slow
+
+COSTS = st.lists(st.integers(min_value=1, max_value=1000), min_size=1, max_size=30)
+WEIGHT = st.floats(min_value=0.25, max_value=8.0, allow_nan=False)
+
+
+def _dispatch_order(tagged):
+    """Requests in the scheduler's global dispatch order."""
+    return sorted(tagged, key=lambda r: (r[0], r[1]))
+
+
+@given(costs_a=COSTS, costs_b=COSTS, w_a=WEIGHT, w_b=WEIGHT)
+@settings(max_examples=200, deadline=None)
+def test_weighted_fair_bound(costs_a, costs_b, w_a, w_b):
+    """While both tenants are backlogged, normalized service (received
+    cost / weight) stays within one max request cost per tenant."""
+    sched = FairScheduler({"a": w_a, "b": w_b})
+    tagged = [(*sched.tag("a", c), "a", c) for c in costs_a]
+    tagged += [(*sched.tag("b", c), "b", c) for c in costs_b]
+    remaining = {"a": len(costs_a), "b": len(costs_b)}
+    service = {"a": 0.0, "b": 0.0}
+    bound = max(costs_a) / w_a + max(costs_b) / w_b
+    for tag, _, tenant, cost in _dispatch_order(tagged):
+        sched.advance(tag)
+        service[tenant] += cost
+        remaining[tenant] -= 1
+        if remaining["a"] and remaining["b"]:  # both still backlogged
+            gap = abs(service["a"] / w_a - service["b"] / w_b)
+            assert gap <= bound + 1e-9, (service, gap, bound)
+
+
+@given(
+    streams=st.lists(
+        st.tuples(st.integers(min_value=0, max_value=3), COSTS),
+        min_size=1,
+        max_size=4,
+    ),
+    data=st.data(),
+)
+@settings(max_examples=200, deadline=None)
+def test_no_starvation_under_adversarial_arrivals(streams, data):
+    """The cost dispatched before any request is bounded by its tag times
+    the fleet's total weight plus one max cost per tenant — no request
+    can be overtaken forever, whatever the arrival interleaving."""
+    weights = {f"t{i}": 1.0 + (i % 3) for i in range(4)}
+    sched = FairScheduler(weights)
+    arrivals = [
+        (f"t{tenant}", cost) for tenant, costs in streams for cost in costs
+    ]
+    order = data.draw(st.permutations(range(len(arrivals))))
+    tagged = []
+    for i in order:
+        tenant, cost = arrivals[i]
+        tagged.append((*sched.tag(tenant, cost), tenant, cost))
+    c_max = {}
+    for _, _, tenant, cost in tagged:
+        c_max[tenant] = max(c_max.get(tenant, 0), cost)
+    slack = sum(c_max.values())
+    total_weight = sum(weights[t] for t in c_max)
+    dispatched = 0.0
+    for tag, _, tenant, cost in _dispatch_order(tagged):
+        sched.advance(tag)
+        assert dispatched <= total_weight * tag + slack + 1e-9
+        dispatched += cost
+
+
+@given(costs=COSTS)
+@settings(max_examples=200, deadline=None)
+def test_single_tenant_degenerates_to_fifo(costs):
+    """One tenant's (tag, seq) order is its arrival order, always."""
+    sched = FairScheduler()
+    tagged = [(*sched.tag("solo", c), i) for i, c in enumerate(costs)]
+    assert [i for _, _, i in _dispatch_order(tagged)] == list(range(len(costs)))
+    tags = [t for t, _, _ in tagged]
+    assert tags == sorted(tags)
+
+
+class TestEngineConservationProperty:
+    """Seeded traffic shapes through a real engine: nothing leaks."""
+
+    @pytest.fixture(scope="class")
+    def model(self):
+        return make_model()
+
+    @pytest.fixture(scope="class")
+    def graphs(self):
+        return make_graphs(8, seed=9)
+
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3, 4])
+    @pytest.mark.parametrize("paced", [False, True])
+    def test_conservation_across_seeds(self, model, graphs, seed, paced):
+        engine = InferenceEngine(
+            model,
+            n_workers=2,
+            compile=False,
+            max_batch_structs=3,
+            max_wait=0.3,
+            tenants=[
+                TenantPolicy("heavy", weight=1.0, max_pending=6),
+                TenantPolicy("light", weight=3.0, max_pending=6),
+            ],
+            paced=paced,
+        )
+        traffic = generate_traffic(
+            graphs,
+            {"heavy": 3.0, "light": 1.0},
+            seed=seed,
+            n=40,
+            horizon=1.5,
+            deadline=1.0,
+        )
+        result = drive(engine, traffic)
+        check_conservation(engine, result, traffic)
+        check_tenant_sums(engine)
